@@ -1,0 +1,114 @@
+package smartndr
+
+// One testing.B benchmark per reproduced table and figure (see DESIGN.md
+// §3 and EXPERIMENTS.md). Each drives the same code path as
+// `cmd/experiments -exp <id>`, in quick mode so `go test -bench=.` stays
+// minutes-scale; run the command for the full-size tables.
+
+import (
+	"io"
+	"testing"
+
+	"smartndr/internal/experiments"
+	"smartndr/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := experiments.Options{Out: io.Discard, Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Run(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT1RuleCharacterization(b *testing.B) { benchExperiment(b, "t1") }
+func BenchmarkT2MainFlow(b *testing.B)             { benchExperiment(b, "t2") }
+func BenchmarkT3Scaling(b *testing.B)              { benchExperiment(b, "t3") }
+func BenchmarkF1SlewSweep(b *testing.B)            { benchExperiment(b, "f1") }
+func BenchmarkF2DepthProfile(b *testing.B)         { benchExperiment(b, "f2") }
+func BenchmarkF3Variation(b *testing.B)            { benchExperiment(b, "f3") }
+func BenchmarkF4TopKSweep(b *testing.B)            { benchExperiment(b, "f4") }
+func BenchmarkA1Ablation(b *testing.B)             { benchExperiment(b, "a1") }
+func BenchmarkA2SkewRepair(b *testing.B)           { benchExperiment(b, "a2") }
+func BenchmarkA3ConstructionModel(b *testing.B)    { benchExperiment(b, "a3") }
+func BenchmarkT4MultiCorner(b *testing.B)          { benchExperiment(b, "t4") }
+func BenchmarkT5Electromigration(b *testing.B)     { benchExperiment(b, "t5") }
+func BenchmarkA4OptimalityGap(b *testing.B)        { benchExperiment(b, "a4") }
+
+// Pipeline micro-benchmarks: the pieces a downstream user pays for.
+
+func benchSinks(b *testing.B, n int) []Sink {
+	b.Helper()
+	bm, err := GenerateBenchmark(BenchSpec{
+		Name: "bench", Dist: workload.Uniform, Sinks: n,
+		DieX: 4000, DieY: 3200, CapMin: 1e-15, CapMax: 4e-15, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bm.Sinks
+}
+
+func BenchmarkBuild2k(b *testing.B) {
+	sinks := benchSinks(b, 2000)
+	flow := NewFlow(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flow.Build(sinks, Point{X: 2000, Y: 1600}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSmartApply2k(b *testing.B) {
+	sinks := benchSinks(b, 2000)
+	flow := NewFlow(nil)
+	built, err := flow.Build(sinks, Point{X: 2000, Y: 1600})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flow.Apply(built, SchemeSmart); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTiming2k(b *testing.B) {
+	sinks := benchSinks(b, 2000)
+	flow := NewFlow(nil)
+	built, err := flow.Build(sinks, Point{X: 2000, Y: 1600})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flow.Timing(built.Tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonteCarlo100(b *testing.B) {
+	sinks := benchSinks(b, 500)
+	flow := NewFlow(nil)
+	built, err := flow.Build(sinks, Point{X: 2000, Y: 1600})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := VariationParams{WidthSigma: 0.004, BufSigma: 0.03, SpatialFrac: 0.6, Samples: 100, Seed: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flow.MonteCarlo(built.Tree, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

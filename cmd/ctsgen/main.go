@@ -1,0 +1,92 @@
+// Command ctsgen generates clock-tree benchmarks as JSON files.
+//
+// Usage:
+//
+//	ctsgen -bench cns03 -o cns03.json          # built-in suite member
+//	ctsgen -sinks 5000 -die 6000 -dist clustered -seed 7 -o my.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smartndr/internal/sio"
+	"smartndr/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "built-in benchmark name (cns01…cns08)")
+	out := flag.String("o", "", "output JSON path (default <name>.json)")
+	sinks := flag.Int("sinks", 2000, "sink count (custom spec)")
+	die := flag.Float64("die", 5000, "die width in µm (height is 0.8×)")
+	dist := flag.String("dist", "uniform", "distribution: uniform|clustered|perimeter|grid")
+	seed := flag.Int64("seed", 1, "generator seed")
+	name := flag.String("name", "custom", "benchmark name (custom spec)")
+	format := flag.String("format", "json", "output format: json|def")
+	flag.Parse()
+
+	var spec workload.Spec
+	if *bench != "" {
+		s, err := workload.ByName(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		spec = s
+	} else {
+		d, err := parseDist(*dist)
+		if err != nil {
+			fatal(err)
+		}
+		spec = workload.Spec{
+			Name: *name, Dist: d, Sinks: *sinks,
+			DieX: *die, DieY: *die * 0.8,
+			CapMin: 1e-15, CapMax: 4e-15, Seed: *seed,
+		}
+	}
+	bm, err := workload.Generate(spec)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	switch *format {
+	case "json":
+		if path == "" {
+			path = spec.Name + ".json"
+		}
+		if err := sio.SaveJSON(path, bm); err != nil {
+			fatal(err)
+		}
+	case "def":
+		if path == "" {
+			path = spec.Name + ".def"
+		}
+		if err := sio.WriteDEFLiteFile(path, bm); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+	fmt.Printf("wrote %s: %d sinks, %.1f×%.1f mm die, %s distribution\n",
+		path, len(bm.Sinks), spec.DieX/1000, spec.DieY/1000, spec.Dist)
+}
+
+func parseDist(s string) (workload.Distribution, error) {
+	switch s {
+	case "uniform":
+		return workload.Uniform, nil
+	case "clustered":
+		return workload.Clustered, nil
+	case "perimeter":
+		return workload.Perimeter, nil
+	case "grid":
+		return workload.Grid, nil
+	default:
+		return 0, fmt.Errorf("unknown distribution %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ctsgen:", err)
+	os.Exit(1)
+}

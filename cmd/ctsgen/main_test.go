@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+func TestParseDist(t *testing.T) {
+	for _, name := range []string{"uniform", "clustered", "perimeter", "grid"} {
+		if _, err := parseDist(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := parseDist("zigzag"); err == nil {
+		t.Error("unknown distribution must fail")
+	}
+}

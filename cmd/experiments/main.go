@@ -1,0 +1,57 @@
+// Command experiments regenerates the evaluation tables and figures (see
+// DESIGN.md §3 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments [-exp all|t1|t2|t3|f1|f2|f3|f4|a1|a2|a3] [-data DIR] [-quick]
+//
+// Tables render to stdout; with -data, the figure series are also written
+// as CSV files into DIR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smartndr/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id to run, or 'all'")
+	data := flag.String("data", "", "directory for CSV series (optional)")
+	quick := flag.Bool("quick", false, "reduced workload sizes")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-4s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+	if *data != "" {
+		if err := os.MkdirAll(*data, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	opt := experiments.Options{Out: os.Stdout, DataDir: *data, Quick: *quick}
+	if *exp == "all" {
+		if err := experiments.All(opt); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	r, err := experiments.ByID(*exp)
+	if err != nil {
+		fatal(err)
+	}
+	if err := r.Run(opt); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,155 @@
+// Command smartndr runs the full flow on one benchmark: synthesize the
+// clock tree, apply a rule-assignment scheme, and report the metrics.
+//
+// Usage:
+//
+//	smartndr -bench cns03 -scheme smart
+//	smartndr -in my.json -scheme all -tech tech65
+//	smartndr -bench cns01 -scheme smart -save tree.json
+//
+// With -scheme all, every scheme runs on the same synthesized tree and a
+// comparison table is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smartndr"
+	"smartndr/internal/cell"
+	"smartndr/internal/report"
+	"smartndr/internal/sio"
+	"smartndr/internal/tech"
+	"smartndr/internal/viz"
+	"smartndr/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "built-in benchmark name (cns01…cns08)")
+	in := flag.String("in", "", "benchmark JSON produced by ctsgen")
+	schemeName := flag.String("scheme", "all", "all|all-default|blanket|trunk|smart")
+	techName := flag.String("tech", "tech45", "technology: tech45|tech65")
+	save := flag.String("save", "", "save the (last) scheme's tree as JSON")
+	svg := flag.String("svg", "", "render the (last) scheme's tree as SVG")
+	mc := flag.Bool("mc", false, "also run process-variation Monte Carlo")
+	flag.Parse()
+
+	bm, err := loadBench(*bench, *in)
+	if err != nil {
+		fatal(err)
+	}
+	te, err := tech.ByName(*techName)
+	if err != nil {
+		fatal(err)
+	}
+	lib := cell.Default45()
+	if te.Name == "tech65" {
+		lib = cell.Default65()
+	}
+	flow := smartndr.NewFlow(&smartndr.FlowConfig{Tech: te, Library: lib})
+
+	fmt.Printf("benchmark %s: %d sinks, %.1f×%.1f mm die (%s)\n",
+		bm.Spec.Name, len(bm.Sinks), bm.Spec.DieX/1000, bm.Spec.DieY/1000, bm.Spec.Dist)
+	built, err := flow.Build(bm.Sinks, bm.Src)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("synthesized: %d nodes, %d buffers, %d leaf clusters\n\n",
+		len(built.Tree.Nodes), built.Buffers, built.NumClusters)
+
+	schemes, err := pickSchemes(*schemeName)
+	if err != nil {
+		fatal(err)
+	}
+	tb := report.NewTable("results ("+te.Name+")",
+		"scheme", "power (mW)", "cap (pF)", "WL (mm)", "worst slew (ps)", "viol", "skew (ps)", "NDR len")
+	var last *smartndr.Result
+	for _, s := range schemes {
+		r, err := flow.Apply(built, s)
+		if err != nil {
+			fatal(err)
+		}
+		m := r.Metrics
+		tb.AddRow(s.String(), report.MW(m.Power.Total()), report.PF(m.SwitchedCap),
+			fmt.Sprintf("%.2f", m.Wirelength/1000), report.Ps(m.WorstSlew),
+			fmt.Sprintf("%d", m.SlewViol), report.Ps(m.Skew), report.Pct(m.NDRFraction))
+		last = r
+		if r.Stats != nil {
+			defer func(st *smartndr.OptStats) {
+				fmt.Printf("\nsmart-ndr: %d downgrades, %d upgrades, %.0f µm repair wire, %d passes\n",
+					st.Downgrades, st.Upgrades, st.RepairWire, st.Passes)
+			}(r.Stats)
+		}
+		if *mc {
+			stats, err := flow.MonteCarlo(r.Tree, smartndr.VariationParams{
+				WidthSigma: 0.004, BufSigma: 0.03, SpatialFrac: 0.6, Samples: 300, Seed: 7,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			defer func(name string, st *smartndr.VariationStats) {
+				fmt.Printf("%s under variation: skew mean %s ps, σ %s ps, P95 %s ps\n",
+					name, report.Ps(st.MeanSkew), report.Ps(st.StdSkew), report.Ps(st.P95Skew))
+			}(s.String(), stats)
+		}
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if *save != "" && last != nil {
+		if err := sio.SaveTree(*save, last.Tree); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved %s tree to %s\n", last.Scheme, *save)
+	}
+	if *svg != "" && last != nil {
+		title := fmt.Sprintf("%s / %s (%s)", bm.Spec.Name, last.Scheme, te.Name)
+		if err := viz.WriteSVGFile(*svg, last.Tree, te, lib, viz.NewOptions(title)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("rendered %s tree to %s\n", last.Scheme, *svg)
+	}
+}
+
+func loadBench(bench, in string) (*workload.Benchmark, error) {
+	switch {
+	case bench != "" && in != "":
+		return nil, fmt.Errorf("use either -bench or -in, not both")
+	case bench != "":
+		return smartndr.Benchmark(bench)
+	case in != "":
+		if strings.HasSuffix(in, ".def") {
+			return sio.ReadDEFLiteFile(in)
+		}
+		return sio.LoadBenchmark(in)
+	default:
+		return smartndr.Benchmark("cns01")
+	}
+}
+
+func pickSchemes(name string) ([]smartndr.Scheme, error) {
+	switch name {
+	case "all":
+		return []smartndr.Scheme{
+			smartndr.SchemeAllDefault, smartndr.SchemeBlanket,
+			smartndr.SchemeTrunk, smartndr.SchemeSmart,
+		}, nil
+	case "all-default":
+		return []smartndr.Scheme{smartndr.SchemeAllDefault}, nil
+	case "blanket":
+		return []smartndr.Scheme{smartndr.SchemeBlanket}, nil
+	case "trunk":
+		return []smartndr.Scheme{smartndr.SchemeTrunk}, nil
+	case "smart":
+		return []smartndr.Scheme{smartndr.SchemeSmart}, nil
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smartndr:", err)
+	os.Exit(1)
+}

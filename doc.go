@@ -1,0 +1,23 @@
+// Package smartndr is a reproduction of "Smart Non-Default Routing for
+// Clock Power Reduction" (Kahng, Kang, Lee — DAC 2013): a complete
+// clock-tree synthesis substrate plus the paper's contribution, per-edge
+// non-default routing-rule (NDR) assignment that recovers the switched
+// capacitance a blanket clock NDR wastes, under slew and skew constraints.
+//
+// The public API is a thin facade over the internal engine:
+//
+//	bm, _  := smartndr.Benchmark("cns03")
+//	flow   := smartndr.NewFlow(nil) // 45 nm defaults
+//	built, _ := flow.Build(bm.Sinks, bm.Src)
+//	res, _ := flow.Apply(built, smartndr.SchemeSmart)
+//	fmt.Println(res.Metrics.Power)
+//
+// Schemes: SchemeAllDefault (minimum-width wire everywhere), SchemeBlanket
+// (the conventional 2W2S-everywhere flow), SchemeTopK (NDR on the top K
+// buffer levels), and SchemeSmart (the paper's per-edge assignment with
+// integrated skew repair). All schemes are evaluated on clones of the same
+// synthesized tree, so comparisons isolate the rule assignment.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced evaluation.
+package smartndr

@@ -1,0 +1,104 @@
+// Custom technology: define your own process (layer parasitics, NDR rule
+// menu, constraints) and buffer library, then run the flow on it. This is
+// the extension point a downstream user adapting the library to their PDK
+// would exercise.
+//
+//	go run ./examples/custom_tech
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smartndr"
+	"smartndr/internal/cell"
+	"smartndr/internal/tech"
+	"smartndr/internal/workload"
+)
+
+func main() {
+	// A hypothetical 32 nm-class node: thinner, more resistive wires, a
+	// richer NDR menu including an asymmetric 1.5W2S class, and tighter
+	// constraints.
+	te := &tech.Tech{
+		Name: "tech32-custom",
+		Vdd:  0.9,
+		Freq: 1.5e9,
+		Layer: tech.Layer{
+			Name:     "M4M5",
+			MinWidth: 0.050,
+			MinSpace: 0.050,
+			RSheet:   0.30, // 6 Ω/µm at 1W
+			CArea:    1.6e-15,
+			CFringe:  0.025e-15,
+			CCouple:  0.095e-15,
+		},
+		Rules: []tech.RuleClass{
+			{Name: "1W1S", WMult: 1, SMult: 1},
+			{Name: "1W2S", WMult: 1, SMult: 2},
+			{Name: "1.5W2S", WMult: 1.5, SMult: 2},
+			{Name: "2W2S", WMult: 2, SMult: 2},
+			{Name: "3W2S", WMult: 3, SMult: 2},
+		},
+		DefaultRule:    0,
+		BlanketRule:    3,
+		ViaR:           2.5,
+		ViaC:           0.04e-15,
+		MaxSlew:        90e-12,
+		MaxSkew:        20e-12,
+		MaxCapPerStage: 90e-15,
+	}
+	if err := te.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A matching buffer library: faster, smaller cells.
+	gp := cell.GenParams{
+		R1:       3200,
+		Cin1:     0.9e-15,
+		T0:       11e-12,
+		SlewSens: 0.18,
+		Drives:   []float64{2, 4, 8, 16, 32, 64},
+		Leak1:    8e-9,
+		Area1:    0.5,
+	}
+	lib, err := cell.Generate("clkbuf32", gp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bm, err := smartndr.GenerateBenchmark(smartndr.BenchSpec{
+		Name: "soc32", Dist: workload.Clustered, Sinks: 1500,
+		DieX: 3000, DieY: 2400, CapMin: 0.8e-15, CapMax: 2.5e-15,
+		Seed: 32, Clusters: 12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	flow := smartndr.NewFlow(&smartndr.FlowConfig{Tech: te, Library: lib})
+	built, err := flow.Build(bm.Sinks, bm.Src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("custom node %s: %d buffers, %d clusters\n\n", te.Name, built.Buffers, built.NumClusters)
+
+	for _, s := range []smartndr.Scheme{smartndr.SchemeBlanket, smartndr.SchemeSmart} {
+		r, err := flow.Apply(built, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := r.Metrics
+		fmt.Printf("%-12s power %7.3f mW  skew %5.2f ps  worst slew %5.2f ps  viol %d\n",
+			s, m.Power.Total()*1e3, m.Skew*1e12, m.WorstSlew*1e12, m.SlewViol)
+		if s == smartndr.SchemeSmart {
+			fmt.Println("\nwirelength by rule class:")
+			for i, l := range m.LenByRule {
+				if l > 0 {
+					fmt.Printf("  %-8s %8.2f mm (%.1f%%)\n",
+						te.Rule(i).Name, l/1000, 100*l/m.Wirelength)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Power sweep: trace the power/slew-constraint tradeoff of smart NDR
+// assignment on a clustered SoC-style benchmark. Under a tight transition
+// budget every edge needs the strong rule (the blanket flow is right);
+// under a relaxed one almost nothing does.
+//
+//	go run ./examples/power_sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smartndr"
+	"smartndr/internal/core"
+	"smartndr/internal/workload"
+)
+
+func main() {
+	bm, err := smartndr.GenerateBenchmark(smartndr.BenchSpec{
+		Name: "sweepdemo", Dist: workload.Clustered, Sinks: 1000,
+		DieX: 4500, DieY: 3600, CapMin: 1e-15, CapMax: 4e-15,
+		Seed: 7, Clusters: 9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	flow := smartndr.NewFlow(nil)
+	built, err := flow.Build(bm.Sinks, bm.Src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blanket, err := flow.Apply(built, smartndr.SchemeBlanket)
+	if err != nil {
+		log.Fatal(err)
+	}
+	def, err := flow.Apply(built, smartndr.SchemeAllDefault)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("anchors: blanket %.3f mW, all-default %.3f mW\n\n",
+		blanket.Metrics.Power.Total()*1e3, def.Metrics.Power.Total()*1e3)
+	fmt.Printf("%-18s %-12s %-12s %-10s\n", "slew limit (ps)", "power (mW)", "vs blanket", "downgrades")
+
+	for _, lim := range []float64{70e-12, 78e-12, 85e-12, 100e-12, 125e-12, 160e-12} {
+		// Sweep the optimizer's slew constraint; everything else defaults.
+		f := smartndr.NewFlow(&smartndr.FlowConfig{
+			Opt: core.Config{MaxSlew: lim},
+		})
+		res, err := f.Apply(built, smartndr.SchemeSmart)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := res.Metrics.Power.Total()
+		fmt.Printf("%-18.0f %-12.3f %-12s %-10d\n",
+			lim*1e12, p*1e3,
+			fmt.Sprintf("%+.1f%%", (p/blanket.Metrics.Power.Total()-1)*100),
+			res.Stats.Downgrades)
+	}
+	fmt.Println("\nbelow the construction's native slew capability the optimizer pays for upgrades;")
+	fmt.Println("once the budget is feasible, every edge drops to its cheapest legal rule class —")
+	fmt.Println("the discrete-menu Pareto knee the paper's title claims.")
+}

@@ -1,0 +1,59 @@
+// Variation study: why clock trees use NDRs at all. Wide wires attenuate
+// lithographic width variation (an absolute CD error is a smaller relative
+// error on a wide wire), so the blanket-NDR tree holds its skew under
+// process variation where the all-default tree scatters. The question the
+// paper answers: does the smart assignment keep that robustness after
+// shedding the blanket's capacitance?
+//
+//	go run ./examples/variation_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smartndr"
+)
+
+func main() {
+	bm, err := smartndr.Benchmark("cns02")
+	if err != nil {
+		log.Fatal(err)
+	}
+	flow := smartndr.NewFlow(nil)
+	built, err := flow.Build(bm.Sinks, bm.Src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4 nm CD sigma, 3% buffer sigma, 60% spatially correlated.
+	params := smartndr.VariationParams{
+		WidthSigma:  0.004,
+		BufSigma:    0.03,
+		SpatialFrac: 0.6,
+		Samples:     400,
+		Seed:        2013,
+	}
+
+	fmt.Printf("%d sinks, %d Monte Carlo samples per scheme\n\n", len(bm.Sinks), params.Samples)
+	fmt.Printf("%-14s %-14s %-12s %-12s %-12s %-12s\n",
+		"scheme", "nominal (ps)", "mean (ps)", "sigma (ps)", "P95 (ps)", "power (mW)")
+	for _, s := range []smartndr.Scheme{
+		smartndr.SchemeAllDefault, smartndr.SchemeTrunk,
+		smartndr.SchemeSmart, smartndr.SchemeBlanket,
+	} {
+		r, err := flow.Apply(built, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mc, err := flow.MonteCarlo(r.Tree, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %-14.2f %-12.2f %-12.2f %-12.2f %-12.3f\n",
+			s, r.Metrics.Skew*1e12, mc.MeanSkew*1e12, mc.StdSkew*1e12,
+			mc.P95Skew*1e12, r.Metrics.Power.Total()*1e3)
+	}
+	fmt.Println("\nexpected shape: all-default scatters widest; smart tracks blanket's")
+	fmt.Println("distribution at meaningfully lower power.")
+}

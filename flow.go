@@ -1,0 +1,285 @@
+package smartndr
+
+import (
+	"errors"
+	"fmt"
+
+	"smartndr/internal/cell"
+	"smartndr/internal/core"
+	"smartndr/internal/ctree"
+	"smartndr/internal/cts"
+	"smartndr/internal/geom"
+	"smartndr/internal/sta"
+	"smartndr/internal/tech"
+	"smartndr/internal/variation"
+	"smartndr/internal/workload"
+)
+
+// Re-exported types: the full engine lives in internal packages; these
+// aliases are the supported public surface.
+type (
+	// Sink is a clock endpoint (location + pin capacitance).
+	Sink = ctree.Sink
+	// Point is a die location in microns.
+	Point = geom.Point
+	// Tree is a synthesized clock tree.
+	Tree = ctree.Tree
+	// Tech is a technology description.
+	Tech = tech.Tech
+	// Library is a clock buffer library.
+	Library = cell.Library
+	// Metrics is the evaluation record (power, skew, slew, wirelength...).
+	Metrics = core.Metrics
+	// OptStats reports what the smart optimizer did.
+	OptStats = core.Stats
+	// BenchSpec describes a generated benchmark.
+	BenchSpec = workload.Spec
+	// VariationParams configure Monte Carlo robustness analysis.
+	VariationParams = variation.Params
+	// VariationStats summarize a Monte Carlo run.
+	VariationStats = variation.Stats
+)
+
+// Scheme selects a routing-rule assignment policy.
+type Scheme int
+
+const (
+	// SchemeAllDefault routes every clock edge at minimum width/spacing.
+	// Cheapest possible capacitance; transitions and variation robustness
+	// are whatever they happen to be.
+	SchemeAllDefault Scheme = iota
+	// SchemeBlanket applies the technology's blanket NDR (2W2S) to every
+	// edge — the conventional flow the paper argues overpays.
+	SchemeBlanket
+	// SchemeTopK applies the blanket NDR to the top K buffer levels and
+	// the default rule below — the rule-of-thumb baseline.
+	SchemeTopK
+	// SchemeSmart runs the paper's per-edge assignment: greedy downgrade
+	// to the cheapest rule class meeting slew and skew, plus skew repair.
+	SchemeSmart
+	// SchemeTrunk applies the blanket NDR to the clock trunk (all stages
+	// that still drive buffers) and the default rule to the leaf stages —
+	// the designer rule-of-thumb baseline.
+	SchemeTrunk
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeAllDefault:
+		return "all-default"
+	case SchemeBlanket:
+		return "blanket-ndr"
+	case SchemeTopK:
+		return "top-k"
+	case SchemeSmart:
+		return "smart-ndr"
+	case SchemeTrunk:
+		return "trunk-ndr"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// FlowConfig parameterizes a Flow. The zero value (or nil pointer to
+// NewFlow) selects the 45 nm-class defaults.
+type FlowConfig struct {
+	Tech    *Tech       // nil → tech.Tech45()
+	Library *Library    // nil → cell.Default45()
+	CTS     cts.Options // tree construction knobs
+	Opt     core.Config // smart-optimizer knobs
+	TopK    int         // K for SchemeTopK (default 2)
+	InSlew  float64     // root input transition (default 40 ps)
+}
+
+// Flow runs clock-tree synthesis and rule assignment.
+type Flow struct {
+	cfg FlowConfig
+}
+
+// NewFlow returns a flow with defaults filled in.
+func NewFlow(cfg *FlowConfig) *Flow {
+	c := FlowConfig{}
+	if cfg != nil {
+		c = *cfg
+	}
+	if c.Tech == nil {
+		c.Tech = tech.Tech45()
+	}
+	if c.Library == nil {
+		if c.Tech.Name == "tech65" {
+			c.Library = cell.Default65()
+		} else {
+			c.Library = cell.Default45()
+		}
+	}
+	if c.TopK == 0 {
+		c.TopK = 2
+	}
+	if c.InSlew == 0 {
+		c.InSlew = 40e-12
+	}
+	return &Flow{cfg: c}
+}
+
+// Config returns the resolved configuration.
+func (f *Flow) Config() FlowConfig { return f.cfg }
+
+// Built is a synthesized clock tree ready for scheme application. The
+// embedded tree carries the blanket rule on every edge.
+type Built struct {
+	Tree        *Tree
+	NumClusters int
+	Buffers     int
+}
+
+// Build synthesizes the buffered, zero-skew clock tree for the sinks.
+func (f *Flow) Build(sinks []Sink, src Point) (*Built, error) {
+	if len(sinks) == 0 {
+		return nil, errors.New("smartndr: no sinks")
+	}
+	res, err := cts.Build(sinks, src, f.cfg.Tech, f.cfg.Library, f.cfg.CTS)
+	if err != nil {
+		return nil, err
+	}
+	res.Tree.SetAllRules(f.cfg.Tech.BlanketRule)
+	return &Built{
+		Tree:        res.Tree,
+		NumClusters: res.NumClusters,
+		Buffers:     res.Tree.BufferCount(),
+	}, nil
+}
+
+// Result is one scheme applied to a built tree.
+type Result struct {
+	Scheme  Scheme
+	Tree    *Tree // the scheme's own clone; the Built tree is untouched
+	Metrics Metrics
+	// Stats is non-nil for SchemeSmart.
+	Stats *OptStats
+}
+
+// Apply evaluates a rule-assignment scheme on a clone of the built tree.
+func (f *Flow) Apply(b *Built, scheme Scheme) (*Result, error) {
+	if b == nil || b.Tree == nil {
+		return nil, errors.New("smartndr: nil built tree")
+	}
+	te, lib := f.cfg.Tech, f.cfg.Library
+	t := b.Tree.Clone()
+	res := &Result{Scheme: scheme, Tree: t}
+	switch scheme {
+	case SchemeAllDefault:
+		core.AssignAll(t, te.DefaultRule)
+	case SchemeBlanket:
+		core.AssignAll(t, te.BlanketRule)
+	case SchemeTopK:
+		core.AssignTopLevels(t, te, f.cfg.TopK)
+	case SchemeTrunk:
+		core.AssignTrunk(t, te)
+	case SchemeSmart:
+		core.AssignAll(t, te.BlanketRule)
+		stats, err := core.Optimize(t, te, lib, f.cfg.Opt)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats = stats
+	default:
+		return nil, fmt.Errorf("smartndr: unknown scheme %d", int(scheme))
+	}
+	m, _, err := core.Evaluate(t, te, lib, f.cfg.InSlew)
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics = m
+	return res, nil
+}
+
+// ApplyTopK evaluates the TopK scheme at a specific K (for sweeps).
+func (f *Flow) ApplyTopK(b *Built, k int) (*Result, error) {
+	te, lib := f.cfg.Tech, f.cfg.Library
+	t := b.Tree.Clone()
+	core.AssignTopLevels(t, te, k)
+	m, _, err := core.Evaluate(t, te, lib, f.cfg.InSlew)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Scheme: SchemeTopK, Tree: t, Metrics: m}, nil
+}
+
+// RepairSkew balances a result tree to the skew target by wire snaking
+// (already integrated in SchemeSmart; exposed for baseline conditioning).
+func (f *Flow) RepairSkew(t *Tree, targetSkew float64) error {
+	_, err := core.RepairSkew(t, f.cfg.Tech, f.cfg.Library, f.cfg.InSlew, targetSkew, 25)
+	return err
+}
+
+// RealizeSchedule applies a useful-skew schedule: sink i is balanced to
+// arrive `targets[i]` later than the common base (indexed by sink order).
+// Schedules should be bank-granular — per-flip-flop offsets inside one
+// buffer stage are not realizable with wire alone.
+func (f *Flow) RealizeSchedule(t *Tree, targets []float64, tol float64) error {
+	for round := 0; round < 3; round++ {
+		st, err := core.RepairToTargets(t, f.cfg.Tech, f.cfg.Library, f.cfg.InSlew, targets, tol, 40)
+		if err != nil {
+			return err
+		}
+		if st.Converged {
+			return nil
+		}
+	}
+	return errors.New("smartndr: schedule not realizable with wire snaking at this tolerance")
+}
+
+// AuditEM lists the tree's electromigration width-floor violations under
+// the default 45 nm-class current-density rule.
+func (f *Flow) AuditEM(t *Tree) ([]core.EMViolation, error) {
+	return core.AuditEM(t, f.cfg.Tech, f.cfg.Library, f.cfg.InSlew, core.DefaultEMLimit())
+}
+
+// EnforceEM upgrades EM-violating edges to their width floors.
+func (f *Flow) EnforceEM(t *Tree) (int, error) {
+	return core.EnforceEM(t, f.cfg.Tech, f.cfg.Library, f.cfg.InSlew, core.DefaultEMLimit())
+}
+
+// EvaluateCorners analyzes the tree at the standard three corners.
+func (f *Flow) EvaluateCorners(t *Tree) (*core.MultiCornerReport, error) {
+	return core.EvaluateCorners(t, f.cfg.Tech, f.cfg.Library, f.cfg.InSlew, tech.StandardCorners())
+}
+
+// Evaluate recomputes metrics for a tree under this flow's technology.
+func (f *Flow) Evaluate(t *Tree) (Metrics, error) {
+	m, _, err := core.Evaluate(t, f.cfg.Tech, f.cfg.Library, f.cfg.InSlew)
+	return m, err
+}
+
+// Timing exposes the underlying STA result of a tree (arrivals, slews,
+// stage loads) for inspection and custom reports.
+func (f *Flow) Timing(t *Tree) (*sta.Result, error) {
+	return sta.Analyze(t, f.cfg.Tech, f.cfg.Library, f.cfg.InSlew)
+}
+
+// MonteCarlo runs process-variation analysis on a tree.
+func (f *Flow) MonteCarlo(t *Tree, p VariationParams) (*VariationStats, error) {
+	return variation.MonteCarlo(t, f.cfg.Tech, f.cfg.Library, p)
+}
+
+// MaxTopK returns the deepest meaningful K for TopK sweeps on a built
+// tree (K beyond this is equivalent to SchemeBlanket).
+func (f *Flow) MaxTopK(b *Built) int { return core.MaxStageLevel(b.Tree) + 1 }
+
+// Benchmark generates a built-in benchmark by name (cns01…cns08).
+func Benchmark(name string) (*workload.Benchmark, error) {
+	spec, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(spec)
+}
+
+// GenerateBenchmark produces a benchmark from a custom spec.
+func GenerateBenchmark(spec BenchSpec) (*workload.Benchmark, error) {
+	return workload.Generate(spec)
+}
+
+// Suite returns the specs of all built-in benchmarks.
+func Suite() []BenchSpec { return workload.CNSSuite() }

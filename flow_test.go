@@ -1,0 +1,258 @@
+package smartndr
+
+import (
+	"testing"
+
+	"smartndr/internal/tech"
+	"smartndr/internal/workload"
+)
+
+// smallBench generates a quick benchmark for facade tests.
+func smallBench(t testing.TB, n int, die float64) *workload.Benchmark {
+	t.Helper()
+	bm, err := GenerateBenchmark(BenchSpec{
+		Name: "t", Dist: workload.Uniform, Sinks: n, DieX: die, DieY: die,
+		CapMin: 1e-15, CapMax: 3e-15, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bm
+}
+
+func TestFlowEndToEnd(t *testing.T) {
+	bm := smallBench(t, 200, 2500)
+	flow := NewFlow(nil)
+	built, err := flow.Build(bm.Sinks, bm.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Buffers < 1 || built.NumClusters < 2 {
+		t.Fatalf("implausible build: %+v", built)
+	}
+
+	results := map[Scheme]*Result{}
+	for _, s := range []Scheme{SchemeAllDefault, SchemeBlanket, SchemeTopK, SchemeSmart} {
+		r, err := flow.Apply(built, s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		results[s] = r
+	}
+
+	te := flow.Config().Tech
+	smart := results[SchemeSmart]
+	blanket := results[SchemeBlanket]
+	def := results[SchemeAllDefault]
+
+	// The headline claim: smart ≤ blanket power, with constraints met.
+	if smart.Metrics.Power.Total() >= blanket.Metrics.Power.Total() {
+		t.Errorf("smart %.3f mW not below blanket %.3f mW",
+			smart.Metrics.Power.Total()*1e3, blanket.Metrics.Power.Total()*1e3)
+	}
+	if smart.Metrics.SlewViol != 0 {
+		t.Errorf("smart has %d slew violations", smart.Metrics.SlewViol)
+	}
+	if smart.Metrics.Skew > te.MaxSkew {
+		t.Errorf("smart skew %.2f ps over bound", smart.Metrics.Skew*1e12)
+	}
+	// All-default is cheapest (it ignores constraints).
+	if def.Metrics.Power.Total() > blanket.Metrics.Power.Total() {
+		t.Error("all-default should be cheaper than blanket")
+	}
+	if smart.Stats == nil || smart.Stats.Downgrades == 0 {
+		t.Error("smart stats missing or empty")
+	}
+	// Schemes must not share tree storage.
+	if &smart.Tree.Nodes[0] == &blanket.Tree.Nodes[0] {
+		t.Error("scheme results alias the same tree")
+	}
+	// The built tree must be untouched (still blanket).
+	for i := range built.Tree.Nodes {
+		if built.Tree.Nodes[i].Rule != te.BlanketRule {
+			t.Fatal("Apply mutated the built tree")
+		}
+	}
+}
+
+func TestFlowTopKSweepMonotone(t *testing.T) {
+	bm := smallBench(t, 150, 2000)
+	flow := NewFlow(nil)
+	built, err := flow.Build(bm.Sinks, bm.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxK := flow.MaxTopK(built)
+	if maxK < 2 {
+		t.Fatalf("MaxTopK = %d", maxK)
+	}
+	prev := -1.0
+	for k := 0; k <= maxK; k++ {
+		r, err := flow.ApplyTopK(built, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cap := r.Metrics.SwitchedCap
+		if cap < prev {
+			t.Errorf("k=%d: cap %.3f pF decreased from %.3f (more NDR cannot cost less)",
+				k, cap*1e12, prev*1e12)
+		}
+		prev = cap
+	}
+}
+
+func TestFlowDefaults(t *testing.T) {
+	f := NewFlow(nil)
+	cfg := f.Config()
+	if cfg.Tech == nil || cfg.Library == nil || cfg.TopK != 2 || cfg.InSlew != 40e-12 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	f65 := NewFlow(&FlowConfig{Tech: tech.Tech65()})
+	if f65.Config().Library.Name != "clkbuf65" {
+		t.Errorf("tech65 should pick the 65 nm library, got %s", f65.Config().Library.Name)
+	}
+}
+
+func TestFlowErrors(t *testing.T) {
+	flow := NewFlow(nil)
+	if _, err := flow.Build(nil, Point{}); err == nil {
+		t.Error("empty sinks must fail")
+	}
+	if _, err := flow.Apply(nil, SchemeSmart); err == nil {
+		t.Error("nil built must fail")
+	}
+	bm := smallBench(t, 10, 100)
+	built, err := flow.Build(bm.Sinks, bm.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flow.Apply(built, Scheme(99)); err == nil {
+		t.Error("unknown scheme must fail")
+	}
+}
+
+func TestBenchmarkLookup(t *testing.T) {
+	bm, err := Benchmark("cns01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bm.Sinks) != 1200 {
+		t.Errorf("cns01 sinks = %d", len(bm.Sinks))
+	}
+	if _, err := Benchmark("nope"); err == nil {
+		t.Error("unknown benchmark must fail")
+	}
+	if len(Suite()) != 8 {
+		t.Error("suite size")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	for _, s := range []Scheme{SchemeAllDefault, SchemeBlanket, SchemeTopK, SchemeSmart, Scheme(9)} {
+		if s.String() == "" {
+			t.Error("empty scheme name")
+		}
+	}
+}
+
+func TestFlowTimingAndMonteCarlo(t *testing.T) {
+	bm := smallBench(t, 80, 1200)
+	flow := NewFlow(nil)
+	built, err := flow.Build(bm.Sinks, bm.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := flow.Apply(built, SchemeSmart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timing, err := flow.Timing(res.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timing.BufferCount != res.Metrics.Buffers {
+		t.Error("timing and metrics disagree on buffers")
+	}
+	p := VariationParams{WidthSigma: 0.004, BufSigma: 0.02, SpatialFrac: 0.5, Samples: 10, Seed: 3}
+	mc, err := flow.MonteCarlo(res.Tree, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Samples) != 10 {
+		t.Errorf("samples = %d", len(mc.Samples))
+	}
+}
+
+func TestFlowRepairSkewPublic(t *testing.T) {
+	bm := smallBench(t, 60, 1000)
+	flow := NewFlow(nil)
+	built, err := flow.Build(bm.Sinks, bm.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := flow.Apply(built, SchemeBlanket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flow.RepairSkew(r.Tree, flow.Config().Tech.MaxSkew); err != nil {
+		t.Fatal(err)
+	}
+	m, err := flow.Evaluate(r.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Skew > flow.Config().Tech.MaxSkew {
+		t.Errorf("post-repair skew %.2f ps over bound", m.Skew*1e12)
+	}
+}
+
+func TestFlowEMAndCorners(t *testing.T) {
+	bm := smallBench(t, 120, 1800)
+	flow := NewFlow(nil)
+	built, err := flow.Build(bm.Sinks, bm.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := flow.Apply(built, SchemeSmart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viols, err := flow.AuditEM(r.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := flow.EnforceEM(r.Tree); err != nil || n != len(viols) {
+		t.Fatalf("EnforceEM n=%d err=%v (audited %d)", n, err, len(viols))
+	}
+	rep, err := flow.EvaluateCorners(r.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Corners) != 3 {
+		t.Errorf("corners = %d", len(rep.Corners))
+	}
+}
+
+func TestFlowRealizeSchedule(t *testing.T) {
+	bm := smallBench(t, 80, 1200)
+	flow := NewFlow(nil)
+	built, err := flow.Build(bm.Sinks, bm.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := flow.Apply(built, SchemeBlanket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := make([]float64, len(bm.Sinks)) // zero schedule == plain balance
+	if err := flow.RealizeSchedule(r.Tree, targets, flow.Config().Tech.MaxSkew); err != nil {
+		t.Fatal(err)
+	}
+	m, err := flow.Evaluate(r.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Skew > flow.Config().Tech.MaxSkew {
+		t.Errorf("zero schedule should equal skew balance: %.2f ps", m.Skew*1e12)
+	}
+}

@@ -1,0 +1,3 @@
+module smartndr
+
+go 1.22

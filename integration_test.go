@@ -1,0 +1,88 @@
+package smartndr
+
+// End-to-end integration invariants: determinism and the cross-scheme
+// ordering the reproduction claims, exercised through the public facade
+// exactly as a downstream user would.
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPipelineDeterministic: identical seeds must give bit-identical
+// metrics across full pipeline runs — the property that makes every
+// experiment in EXPERIMENTS.md reproducible.
+func TestPipelineDeterministic(t *testing.T) {
+	run := func() Metrics {
+		bm, err := Benchmark("cns01")
+		if err != nil {
+			t.Fatal(err)
+		}
+		flow := NewFlow(nil)
+		built, err := flow.Build(bm.Sinks, bm.Src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := flow.Apply(built, SchemeSmart)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Metrics
+	}
+	a := run()
+	b := run()
+	if a.Power.Total() != b.Power.Total() || a.Skew != b.Skew ||
+		a.Wirelength != b.Wirelength || a.WorstSlew != b.WorstSlew {
+		t.Errorf("pipeline not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSchemeOrderingInvariants pins the relative ordering every benchmark
+// exhibits: cap(all-default) ≤ cap(trunk) ≤ cap(blanket), smart below
+// blanket, and only smart guaranteed inside both bounds.
+func TestSchemeOrderingInvariants(t *testing.T) {
+	bm, err := Benchmark("cns02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := NewFlow(nil)
+	built, err := flow.Build(bm.Sinks, bm.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(s Scheme) Metrics {
+		r, err := flow.Apply(built, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Metrics
+	}
+	def := get(SchemeAllDefault)
+	trunk := get(SchemeTrunk)
+	blanket := get(SchemeBlanket)
+	smart := get(SchemeSmart)
+
+	if !(def.SwitchedCap <= trunk.SwitchedCap && trunk.SwitchedCap <= blanket.SwitchedCap) {
+		t.Errorf("cap ordering broken: def %.3g trunk %.3g blanket %.3g",
+			def.SwitchedCap, trunk.SwitchedCap, blanket.SwitchedCap)
+	}
+	if smart.Power.Total() >= blanket.Power.Total() {
+		t.Errorf("smart %.3f mW not below blanket %.3f mW",
+			smart.Power.Total()*1e3, blanket.Power.Total()*1e3)
+	}
+	te := flow.Config().Tech
+	if smart.SlewViol != 0 || smart.Skew > te.MaxSkew {
+		t.Errorf("smart constraint broken: viol=%d skew=%.2fps", smart.SlewViol, smart.Skew*1e12)
+	}
+	// The blanket's track-area premium: smart must also use less routing
+	// resource than blanket (cheaper classes are narrower overall).
+	if smart.TrackArea >= blanket.TrackArea {
+		t.Errorf("smart track area %.0f ≥ blanket %.0f", smart.TrackArea, blanket.TrackArea)
+	}
+	// Insertion delay sanity: all schemes within 2× of each other.
+	lo := math.Min(def.MaxInsDelay, smart.MaxInsDelay)
+	hi := math.Max(blanket.MaxInsDelay, smart.MaxInsDelay)
+	if hi > 2*lo {
+		t.Errorf("insertion delays implausibly spread: %.2f…%.2f ps", lo*1e12, hi*1e12)
+	}
+}

@@ -1,0 +1,247 @@
+// Package buffering provides the buffer-insertion toolbox of the flow:
+// greedy cap-limited insertion (Insert) used as an ablation baseline, long-
+// edge splitting, NLDM linearization and repeated-line planning for the
+// hierarchical builder in package cts, and a classical van Ginneken DP.
+//
+// Insert is a two-step greedy scheme:
+//
+//  1. Long edges are split into chains of unary nodes so that no single
+//     wire segment exceeds a fraction of the stage capacitance budget —
+//     otherwise a single top-level DME edge (which can run for millimetres)
+//     could never be repeated.
+//
+//  2. A bottom-up cap-limited pass places a buffer wherever the
+//     accumulated downstream capacitance would cross the stage budget,
+//     choosing per-site the smallest library cell that meets the slew
+//     target at its actual load. On a delay-balanced DME tree the
+//     accumulation is naturally similar across branches, so per-path
+//     buffer counts stay close; the residual insertion-delay skew is
+//     measured by STA and cleaned up by the optimizer's skew-repair pass.
+//
+// A classical van Ginneken dynamic program over a single wire (VanGinneken)
+// is included as an independently-testable baseline.
+package buffering
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"smartndr/internal/cell"
+	"smartndr/internal/ctree"
+	"smartndr/internal/geom"
+	"smartndr/internal/tech"
+)
+
+// Options configure buffer insertion.
+type Options struct {
+	// CPerUm is the wire capacitance per micron used for stage-cap
+	// planning (the blanket rule's value during initial construction).
+	CPerUm float64
+	// MaxCapPerStage bounds the capacitance a buffer stage may accumulate.
+	MaxCapPerStage float64
+	// MaxSlew is the transition bound used for cell selection.
+	MaxSlew float64
+	// InSlew is the transition arriving at the clock root from the source.
+	InSlew float64
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.CPerUm <= 0 {
+		return fmt.Errorf("buffering: non-positive wire cap %g", o.CPerUm)
+	}
+	if o.MaxCapPerStage <= 0 {
+		return fmt.Errorf("buffering: non-positive stage cap bound %g", o.MaxCapPerStage)
+	}
+	if o.MaxSlew <= 0 {
+		return fmt.Errorf("buffering: non-positive slew bound %g", o.MaxSlew)
+	}
+	if o.InSlew < 0 {
+		return errors.New("buffering: negative input slew")
+	}
+	return nil
+}
+
+// FromTech derives insertion options from a technology (planning under its
+// blanket rule).
+func FromTech(te *tech.Tech) Options {
+	return Options{
+		CPerUm:         te.Layer.CPerUm(te.Rule(te.BlanketRule)),
+		MaxCapPerStage: te.MaxCapPerStage,
+		MaxSlew:        te.MaxSlew,
+		InSlew:         40e-12,
+	}
+}
+
+// maxSegFrac is the fraction of the stage budget one wire segment may hold
+// after edge splitting.
+const maxSegFrac = 0.5
+
+// Insert places buffers and returns the number inserted (including the
+// root driver, which is always placed). The tree is modified: long edges
+// gain unary split nodes, and BufIdx fields are set. Existing buffer
+// assignments are discarded.
+func Insert(t *ctree.Tree, lib *cell.Library, opt Options) (int, error) {
+	if err := opt.Validate(); err != nil {
+		return 0, err
+	}
+	if err := lib.Validate(); err != nil {
+		return 0, err
+	}
+	if t.Root == ctree.NoNode {
+		return 0, errors.New("buffering: tree has no root")
+	}
+	for i := range t.Nodes {
+		t.Nodes[i].BufIdx = ctree.NoBuf
+	}
+	maxSegLen := maxSegFrac * opt.MaxCapPerStage / opt.CPerUm
+	SplitLongEdges(t, maxSegLen)
+
+	// Bottom-up cap-limited placement. downCap[v] is the capacitance a
+	// driver at v would see: subtree wire + sink pins, cut at buffered
+	// descendants (replaced by their input cap).
+	downCap := make([]float64, len(t.Nodes))
+	trigger := 0.8 * opt.MaxCapPerStage
+	count := 0
+	t.PostOrder(func(v int) {
+		n := &t.Nodes[v]
+		if t.IsLeaf(v) {
+			downCap[v] = t.Sinks[n.SinkIdx].Cap
+			return
+		}
+		sum := 0.0
+		for _, k := range n.Kids {
+			if k == ctree.NoNode {
+				continue
+			}
+			sum += downCap[k] + opt.CPerUm*t.Nodes[k].EdgeLen
+		}
+		downCap[v] = sum
+		edgeUp := 0.0
+		if n.Parent != ctree.NoNode {
+			edgeUp = opt.CPerUm * n.EdgeLen
+		}
+		if v == t.Root || sum >= trigger || sum+edgeUp > opt.MaxCapPerStage {
+			b, _ := lib.SmallestMeeting(opt.MaxSlew, sum, opt.MaxSlew)
+			n.BufIdx = indexOf(lib, b)
+			downCap[v] = b.InputCap
+			count++
+		}
+	})
+	return count, nil
+}
+
+// SplitLongEdges subdivides every edge longer than maxLen into equal
+// segments joined by unary nodes placed along the straight line between
+// the endpoints. Electrical lengths divide exactly, so total wirelength
+// and downstream parasitics are unchanged.
+func SplitLongEdges(t *ctree.Tree, maxLen float64) {
+	if maxLen <= 0 {
+		return
+	}
+	// Collect first: AddNode invalidates iteration order.
+	type job struct{ node, segs int }
+	var jobs []job
+	for i := range t.Nodes {
+		if t.Nodes[i].Parent == ctree.NoNode {
+			continue
+		}
+		// Segment count must match the repeated-line model exactly:
+		// n = ceil(e/maxLen), with a hair of tolerance so an edge of
+		// exactly n·maxLen yields n segments, not n+1.
+		segs := int(math.Ceil(t.Nodes[i].EdgeLen/maxLen - 1e-12))
+		if segs >= 2 {
+			jobs = append(jobs, job{i, segs})
+		}
+	}
+	for _, j := range jobs {
+		splitEdge(t, j.node, j.segs)
+	}
+}
+
+// splitEdge replaces the feeding edge of node v with a chain of `segs`
+// equal segments through segs−1 new unary nodes.
+func splitEdge(t *ctree.Tree, v, segs int) {
+	if segs < 2 {
+		return
+	}
+	p := t.Nodes[v].Parent
+	total := t.Nodes[v].EdgeLen
+	rule := t.Nodes[v].Rule
+	a := t.Nodes[p].Loc
+	b := t.Nodes[v].Loc
+	segLen := total / float64(segs)
+	prev := p
+	for s := 1; s < segs; s++ {
+		f := float64(s) / float64(segs)
+		loc := geom.Point{X: a.X + (b.X-a.X)*f, Y: a.Y + (b.Y-a.Y)*f}
+		id := t.AddNode(ctree.Node{
+			Parent:  prev,
+			Kids:    [2]int{ctree.NoNode, ctree.NoNode},
+			SinkIdx: ctree.NoSink,
+			Loc:     loc,
+			EdgeLen: segLen,
+			Rule:    rule,
+			BufIdx:  ctree.NoBuf,
+		})
+		// Rewire the previous node's child pointer.
+		if prev == p {
+			for ki, k := range t.Nodes[p].Kids {
+				if k == v {
+					t.Nodes[p].Kids[ki] = id
+					break
+				}
+			}
+		} else {
+			t.Nodes[prev].Kids[0] = id
+		}
+		prev = id
+	}
+	t.Nodes[prev].Kids[0] = v
+	if prev != p {
+		// prev is a fresh unary node; make sure its second slot is empty
+		// and point v at it.
+		t.Nodes[prev].Kids[1] = ctree.NoNode
+	}
+	t.Nodes[v].Parent = prev
+	t.Nodes[v].EdgeLen = segLen
+}
+
+// StageCaps recomputes, for every buffered node, the capacitance of the
+// stage it drives (wire + sink pins + downstream buffer input caps). Used
+// by tests and reports.
+func StageCaps(t *ctree.Tree, lib *cell.Library, cPerUm float64) map[int]float64 {
+	out := make(map[int]float64)
+	downCap := make([]float64, len(t.Nodes))
+	t.PostOrder(func(v int) {
+		n := &t.Nodes[v]
+		if t.IsLeaf(v) {
+			downCap[v] = t.Sinks[n.SinkIdx].Cap
+			return
+		}
+		sum := 0.0
+		for _, k := range n.Kids {
+			if k == ctree.NoNode {
+				continue
+			}
+			sum += downCap[k] + cPerUm*t.Nodes[k].EdgeLen
+		}
+		if n.BufIdx != ctree.NoBuf {
+			out[v] = sum
+			downCap[v] = lib.Buffers[n.BufIdx].InputCap
+			return
+		}
+		downCap[v] = sum
+	})
+	return out
+}
+
+func indexOf(lib *cell.Library, b *cell.Buffer) int {
+	for i := range lib.Buffers {
+		if lib.Buffers[i].Name == b.Name {
+			return i
+		}
+	}
+	return 0
+}

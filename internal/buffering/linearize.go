@@ -1,0 +1,113 @@
+package buffering
+
+import (
+	"fmt"
+	"math"
+
+	"smartndr/internal/cell"
+)
+
+// LinBuf is a linearized buffer model extracted from NLDM tables at a
+// reference slew: delay(load) ≈ T0 + Rd·load. It is the model the upper-
+// level (repeated-wire) DME balances against; final timing always comes
+// from the full tables.
+type LinBuf struct {
+	Rd  float64 // Ω, effective switch resistance
+	T0  float64 // s, intrinsic delay
+	Cin float64 // F, input capacitance
+}
+
+// Linearize fits the two-parameter model to a cell's delay table at the
+// given reference slew using two load points inside the characterized
+// range.
+func Linearize(b *cell.Buffer, refSlew float64) LinBuf {
+	axis := b.Delay.LoadAxis
+	l1 := axis[len(axis)/3]
+	l2 := axis[2*len(axis)/3]
+	d1 := b.DelayAt(refSlew, l1)
+	d2 := b.DelayAt(refSlew, l2)
+	rd := (d2 - d1) / (l2 - l1)
+	return LinBuf{
+		Rd:  rd,
+		T0:  d1 - rd*l1,
+		Cin: b.InputCap,
+	}
+}
+
+// RepeatedLine describes a wire driven through identical repeaters at
+// fixed spacing: the classical "buffered interconnect" whose delay is
+// linear in length. Junction (merge-point) repeaters drive two downstream
+// segments; their delay is a per-merge constant rather than per-micron.
+type RepeatedLine struct {
+	Spacing       float64 // µm between repeaters
+	KPerUm        float64 // s/µm amortized inline delay rate
+	CellIdx       int     // repeater cell index in the library
+	JunctionDelay float64 // s, delay of a merge-point repeater at 2× segment load
+	// SteadySlew is the fixed-point input transition of an infinite
+	// repeated line: each repeater's output slew at the segment load,
+	// RSS-composed with the segment's wire slew, reproduces itself. Delay
+	// models linearized at this slew carry no systematic bias along long
+	// repeated paths.
+	SteadySlew float64 // s
+}
+
+// slewFromElmore converts an Elmore delay to a PERI step transition.
+func slewFromElmore(d float64) float64 { return 2.1972245773362196 * d }
+
+// rss is root-sum-square transition composition.
+func rss(a, b float64) float64 {
+	return math.Hypot(a, b)
+}
+
+// PlanRepeatedLine chooses a repeater cell and spacing such that each
+// segment's capacitance (wire + repeater input) stays within capBudget,
+// and returns the amortized per-micron delay rate
+//
+//	k = [Rd·(c·s + Cin) + T0 + r·s·(c·s/2 + Cin)] / s
+//
+// plus the constant delay of a junction repeater, which drives two such
+// segments. The cell is the smallest whose output slew meets maxSlew at
+// the *junction* load (the worst case); spacing is set to fill the budget.
+func PlanRepeatedLine(lib *cell.Library, r, c, capBudget, maxSlew, refSlew float64) (RepeatedLine, error) {
+	if r <= 0 || c <= 0 || capBudget <= 0 {
+		return RepeatedLine{}, fmt.Errorf("buffering: bad repeated-line inputs r=%g c=%g budget=%g", r, c, capBudget)
+	}
+	plan := func(ci int) (RepeatedLine, float64, bool) {
+		b := &lib.Buffers[ci]
+		s := (capBudget - b.InputCap) / c
+		if s <= 0 {
+			return RepeatedLine{}, 0, false
+		}
+		segLoad := c*s + b.InputCap
+		juncLoad := 2 * segLoad
+		// Fixed-point repeater input slew along the line.
+		wireStep := slewFromElmore(r * s * (c*s/2 + b.InputCap))
+		steady := refSlew
+		for i := 0; i < 25; i++ {
+			steady = rss(b.OutSlewAt(steady, segLoad), wireStep)
+		}
+		lin := Linearize(b, steady)
+		rl := RepeatedLine{
+			Spacing:       s,
+			KPerUm:        (lin.Rd*segLoad + lin.T0 + r*s*(c*s/2+b.InputCap)) / s,
+			CellIdx:       ci,
+			JunctionDelay: lin.T0 + lin.Rd*juncLoad,
+			SteadySlew:    steady,
+		}
+		return rl, b.OutSlewAt(steady, juncLoad), true
+	}
+	// Smallest cell meeting slew at the junction load wins.
+	for ci := range lib.Buffers {
+		rl, slew, ok := plan(ci)
+		if ok && slew <= maxSlew {
+			return rl, nil
+		}
+	}
+	// Fall back to the strongest cell even if slew-marginal; the caller's
+	// STA will surface any violation.
+	rl, _, ok := plan(len(lib.Buffers) - 1)
+	if !ok {
+		return RepeatedLine{}, fmt.Errorf("buffering: cap budget %g below strongest cell input cap", capBudget)
+	}
+	return rl, nil
+}

@@ -1,0 +1,109 @@
+package buffering
+
+import (
+	"math"
+	"testing"
+
+	"smartndr/internal/cell"
+	"smartndr/internal/tech"
+)
+
+func TestLinearizeTracksTable(t *testing.T) {
+	lib := cell.Default45()
+	const refSlew = 50e-12
+	for i := range lib.Buffers {
+		b := &lib.Buffers[i]
+		lin := Linearize(b, refSlew)
+		if lin.Rd <= 0 || lin.Cin != b.InputCap {
+			t.Fatalf("%s: bad linearization %+v", b.Name, lin)
+		}
+		// The fit must track the table within a few percent across the
+		// characterized load range (the generator is linear in load).
+		for _, load := range b.Delay.LoadAxis {
+			want := b.DelayAt(refSlew, load)
+			got := lin.T0 + lin.Rd*load
+			if math.Abs(got-want) > 0.05*want {
+				t.Errorf("%s @%g F: lin %g vs table %g", b.Name, load, got, want)
+			}
+		}
+	}
+}
+
+func TestLinearizeStrongerCellsLowerRd(t *testing.T) {
+	lib := cell.Default45()
+	prev := math.Inf(1)
+	for i := range lib.Buffers {
+		lin := Linearize(&lib.Buffers[i], 50e-12)
+		if lin.Rd >= prev {
+			t.Errorf("%s: Rd %g not below weaker cell's %g", lib.Buffers[i].Name, lin.Rd, prev)
+		}
+		prev = lin.Rd
+	}
+}
+
+func TestPlanRepeatedLine(t *testing.T) {
+	lib := cell.Default45()
+	te := tech.Tech45()
+	r := te.Layer.RPerUm(te.Rule(te.BlanketRule))
+	c := te.Layer.CPerUm(te.Rule(te.BlanketRule))
+	rl, err := PlanRepeatedLine(lib, r, c, te.MaxCapPerStage, te.MaxSlew, 50e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Spacing <= 0 || rl.KPerUm <= 0 {
+		t.Fatalf("bad plan %+v", rl)
+	}
+	// Segment cap within budget.
+	b := &lib.Buffers[rl.CellIdx]
+	segCap := c*rl.Spacing + b.InputCap
+	if segCap > te.MaxCapPerStage*1.0001 {
+		t.Errorf("segment cap %g over budget %g", segCap, te.MaxCapPerStage)
+	}
+	// Slew met at segment load.
+	if s := b.OutSlewAt(50e-12, segCap); s > te.MaxSlew {
+		t.Errorf("repeater slew %g over bound %g", s, te.MaxSlew)
+	}
+	// Amortized rate must beat the unbuffered quadratic over a few mm.
+	L := 4000.0
+	unbuf := r * L * (c * L / 2)
+	if rl.KPerUm*L >= unbuf {
+		t.Errorf("repeated line %g not faster than unbuffered %g over %g µm", rl.KPerUm*L, unbuf, L)
+	}
+}
+
+func TestPlanRepeatedLineErrors(t *testing.T) {
+	lib := cell.Default45()
+	if _, err := PlanRepeatedLine(lib, 0, 1e-15, 1e-13, 1e-10, 5e-11); err == nil {
+		t.Error("zero r should fail")
+	}
+	if _, err := PlanRepeatedLine(lib, 1, 1e-15, 0, 1e-10, 5e-11); err == nil {
+		t.Error("zero budget should fail")
+	}
+	// Budget below every cell's input cap is impossible.
+	if _, err := PlanRepeatedLine(lib, 1, 1e-15, 1e-18, 1e-10, 5e-11); err == nil {
+		t.Error("sub-Cin budget should fail")
+	}
+}
+
+func TestPlanRepeatedLinePrefersSmallCells(t *testing.T) {
+	lib := cell.Default45()
+	te := tech.Tech45()
+	r := te.Layer.RPerUm(te.Rule(te.BlanketRule))
+	c := te.Layer.CPerUm(te.Rule(te.BlanketRule))
+	// A very loose slew bound lets the smallest cell win.
+	rl, err := PlanRepeatedLine(lib, r, c, te.MaxCapPerStage, 1.0, 50e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.CellIdx != 0 {
+		t.Errorf("loose slew should pick the weakest cell, got %d", rl.CellIdx)
+	}
+	// A tight slew bound forces a stronger cell.
+	rl2, err := PlanRepeatedLine(lib, r, c, te.MaxCapPerStage, 40e-12, 50e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl2.CellIdx <= rl.CellIdx {
+		t.Errorf("tight slew should pick a stronger cell: %d vs %d", rl2.CellIdx, rl.CellIdx)
+	}
+}

@@ -1,0 +1,139 @@
+package buffering
+
+import (
+	"fmt"
+	"math"
+
+	"smartndr/internal/cell"
+)
+
+// VGResult is the outcome of the van Ginneken dynamic program on a single
+// wire: the minimal achievable source-to-sink Elmore delay and the buffer
+// positions (distance from the sink, µm) with their cell indices.
+type VGResult struct {
+	Delay     float64   // s, driver output to sink, including buffer delays
+	Positions []float64 // µm from the *sink*, ascending
+	Cells     []int     // cell index per position, parallel to Positions
+}
+
+// vgCandidate is one Pareto point of the DP: driving this partial solution
+// requires capacitance Cap at its upstream end and incurs Delay to the sink.
+type vgCandidate struct {
+	cap   float64
+	delay float64
+	// chain of insertions (linked to share tails across candidates)
+	link *vgInsertion
+}
+
+type vgInsertion struct {
+	pos  float64 // distance from sink
+	cell int
+	prev *vgInsertion
+}
+
+// VanGinneken computes the delay-optimal buffering of a single wire of the
+// given length (µm) with per-micron parasitics r and c, driving a sink of
+// capacitance sinkCap. Candidate buffer sites are every `step` µm. Buffer
+// delay is approximated from each cell's NLDM table at a fixed slew — the
+// classical formulation uses a linear (R_d, C_in, T_int) model, which the
+// tables embed.
+//
+// This is the textbook O(sites × cells × candidates) bottom-up DP with
+// Pareto pruning. It exists as an independently-verifiable baseline for the
+// level-synchronous scheme used on whole trees.
+func VanGinneken(length, r, c, sinkCap float64, lib *cell.Library, step float64) (VGResult, error) {
+	if length <= 0 || r <= 0 || c <= 0 || step <= 0 {
+		return VGResult{}, fmt.Errorf("buffering: bad van Ginneken inputs length=%g r=%g c=%g step=%g", length, r, c, step)
+	}
+	if err := lib.Validate(); err != nil {
+		return VGResult{}, err
+	}
+	const refSlew = 50e-12
+	// Start at the sink.
+	cands := []vgCandidate{{cap: sinkCap, delay: 0}}
+	nSites := int(length / step)
+	for s := 1; s <= nSites; s++ {
+		pos := float64(s) * step
+		seg := step
+		if pos > length {
+			seg = length - float64(s-1)*step
+			pos = length
+		}
+		// Propagate every candidate upstream across the segment.
+		for i := range cands {
+			cd := &cands[i]
+			cd.delay += r * seg * (c*seg/2 + cd.cap)
+			cd.cap += c * seg
+		}
+		// Option: insert any buffer here.
+		var added []vgCandidate
+		for ci := range lib.Buffers {
+			b := &lib.Buffers[ci]
+			best := vgCandidate{cap: math.Inf(1), delay: math.Inf(1)}
+			for _, cd := range cands {
+				d := cd.delay + b.DelayAt(refSlew, cd.cap)
+				if d < best.delay {
+					best = vgCandidate{
+						cap:   b.InputCap,
+						delay: d,
+						link:  &vgInsertion{pos: pos, cell: ci, prev: cd.link},
+					}
+				}
+			}
+			added = append(added, best)
+		}
+		cands = prunePareto(append(cands, added...))
+	}
+	// Terminal: driven by the strongest buffer as the source driver.
+	drv := lib.Strongest()
+	best := vgCandidate{delay: math.Inf(1)}
+	for _, cd := range cands {
+		if d := cd.delay + drv.DelayAt(refSlew, cd.cap); d < best.delay {
+			best = cd
+			best.delay = d
+		}
+	}
+	res := VGResult{Delay: best.delay}
+	for ins := best.link; ins != nil; ins = ins.prev {
+		res.Positions = append(res.Positions, ins.pos)
+		res.Cells = append(res.Cells, ins.cell)
+	}
+	// Linked list is upstream-first; reverse into ascending
+	// distance-from-sink order.
+	for i, j := 0, len(res.Positions)-1; i < j; i, j = i+1, j-1 {
+		res.Positions[i], res.Positions[j] = res.Positions[j], res.Positions[i]
+		res.Cells[i], res.Cells[j] = res.Cells[j], res.Cells[i]
+	}
+	return res, nil
+}
+
+// prunePareto keeps only candidates not dominated in (cap, delay): a
+// candidate is dominated if another has both smaller-or-equal cap and
+// smaller-or-equal delay.
+func prunePareto(cands []vgCandidate) []vgCandidate {
+	// Sort by cap ascending, then sweep keeping strictly decreasing delay.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].cap < cands[j-1].cap; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	out := cands[:0]
+	bestDelay := math.Inf(1)
+	for _, cd := range cands {
+		if cd.delay < bestDelay {
+			out = append(out, cd)
+			bestDelay = cd.delay
+		}
+	}
+	return out
+}
+
+// UnbufferedDelay returns the Elmore delay of the same wire with no
+// buffers, driven by the strongest library cell — the baseline VanGinneken
+// must beat on long wires.
+func UnbufferedDelay(length, r, c, sinkCap float64, lib *cell.Library) float64 {
+	const refSlew = 50e-12
+	drv := lib.Strongest()
+	wireCap := c * length
+	return drv.DelayAt(refSlew, wireCap+sinkCap) + r*length*(c*length/2+sinkCap)
+}

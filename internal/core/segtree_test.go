@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestArrTreeBasics(t *testing.T) {
+	at := newArrTree([]float64{3, 1, 4, 1, 5})
+	if at.Min() != 1 || at.Max() != 5 {
+		t.Fatalf("min/max = %g/%g", at.Min(), at.Max())
+	}
+	if at.Skew() != 4 {
+		t.Fatalf("skew = %g", at.Skew())
+	}
+	at.Add(1, 3, 10) // [3, 11, 14, 11, 5]
+	if at.Min() != 3 || at.Max() != 14 {
+		t.Fatalf("after add: min/max = %g/%g", at.Min(), at.Max())
+	}
+	at.Add(1, 3, -10) // back
+	if at.Skew() != 4 {
+		t.Fatalf("revert failed: skew = %g", at.Skew())
+	}
+}
+
+func TestArrTreeEmptyAndSingle(t *testing.T) {
+	empty := newArrTree(nil)
+	if empty.Skew() != 0 || empty.Min() != 0 || empty.Max() != 0 {
+		t.Error("empty tree should report zeros")
+	}
+	empty.Add(0, 0, 5) // must not panic
+	one := newArrTree([]float64{7})
+	if one.Skew() != 0 || one.Min() != 7 || one.Max() != 7 {
+		t.Error("single-element tree wrong")
+	}
+	one.Add(0, 0, 3)
+	if one.Max() != 10 {
+		t.Error("single-element add wrong")
+	}
+}
+
+func TestArrTreeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		ref := make([]float64, n)
+		for i := range ref {
+			ref[i] = rng.Float64() * 100
+		}
+		at := newArrTree(append([]float64(nil), ref...))
+		for op := 0; op < 100; op++ {
+			lo := rng.Intn(n)
+			hi := lo + rng.Intn(n-lo)
+			d := (rng.Float64() - 0.5) * 20
+			at.Add(lo, hi, d)
+			for i := lo; i <= hi; i++ {
+				ref[i] += d
+			}
+			mn, mx := math.Inf(1), math.Inf(-1)
+			for _, v := range ref {
+				mn = math.Min(mn, v)
+				mx = math.Max(mx, v)
+			}
+			if math.Abs(at.Min()-mn) > 1e-9 || math.Abs(at.Max()-mx) > 1e-9 {
+				t.Fatalf("trial %d op %d: tree %g/%g vs ref %g/%g", trial, op, at.Min(), at.Max(), mn, mx)
+			}
+		}
+	}
+}
+
+func TestArrTreeInvertedRangeNoop(t *testing.T) {
+	at := newArrTree([]float64{1, 2, 3})
+	at.Add(2, 1, 99)
+	if at.Max() != 3 {
+		t.Error("inverted range must be a no-op")
+	}
+}

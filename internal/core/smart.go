@@ -1,0 +1,338 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"smartndr/internal/cell"
+	"smartndr/internal/ctree"
+	"smartndr/internal/sta"
+	"smartndr/internal/tech"
+)
+
+// Stats reports what Optimize did.
+type Stats struct {
+	Passes     int     // downgrade sweeps executed
+	Downgrades int     // accepted rule reductions
+	Upgrades   int     // accepted rule strengthenings (violation recovery)
+	CapBefore  float64 // switched cap before optimization, F
+	CapAfter   float64 // switched cap after optimization (incl. repair wire), F
+	RepairWire float64 // wirelength added by skew repair, µm
+	FinalSkew  float64 // s
+	FinalSlew  float64 // s, worst transition
+}
+
+// debugOptimize enables diagnostic prints (tests only).
+var debugOptimize = false
+
+// sinkSpan maps tree nodes to contiguous ranges of DFS-ordered sinks, so a
+// subtree arrival shift is one segment-tree range-add.
+type sinkSpan struct {
+	lo, hi []int // per node: sink positions [lo, hi); empty if lo >= hi
+	node   []int // sink position → sink node index
+}
+
+func newSinkSpan(t *ctree.Tree) *sinkSpan {
+	s := &sinkSpan{lo: make([]int, len(t.Nodes)), hi: make([]int, len(t.Nodes))}
+	var walk func(v int)
+	walk = func(v int) {
+		s.lo[v] = len(s.node)
+		if t.Nodes[v].SinkIdx != ctree.NoSink {
+			s.node = append(s.node, v)
+		}
+		for _, k := range t.Nodes[v].Kids {
+			if k != ctree.NoNode {
+				walk(k)
+			}
+		}
+		s.hi[v] = len(s.node)
+	}
+	walk(t.Root)
+	return s
+}
+
+// Optimize performs smart NDR assignment on a buffered clock tree.
+//
+// Flow: (1) an initial skew repair balances the construction residue;
+// (2) downgrade sweeps visit every buffer stage and move each edge to the
+// cheapest rule class that keeps all stage transitions within the derated
+// slew bound AND keeps the *global* skew within budget — the skew effect
+// of shifting whole subtrees is tracked exactly with a segment tree;
+// (3) a violation-recovery sweep upgrades any stage that the second-order
+// slew cascade (input-slew drift across stages) pushed over the bound;
+// (4) a final skew repair absorbs the residue. Rules and edge lengths are
+// modified in place.
+func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(te)
+	stats := &Stats{}
+	res, err := sta.Analyze(t, te, lib, cfg.InSlew)
+	if err != nil {
+		return nil, err
+	}
+	stats.CapBefore = res.TotalSwitchedCap()
+	slewLimit := cfg.MaxSlew * cfg.SlewSafety
+
+	if !cfg.DisableRepair {
+		rep, err := RepairSkew(t, te, lib, cfg.InSlew, cfg.MaxSkew, cfg.RepairIters)
+		if err != nil {
+			return nil, err
+		}
+		stats.RepairWire += rep.AddedWire
+	}
+
+	span := newSinkSpan(t)
+	byCap := rulesByCap(te)
+
+	var emFloor []float64
+
+	for pass := 0; pass < cfg.MaxPasses; pass++ {
+		res, err = sta.Analyze(t, te, lib, cfg.InSlew)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.EM != nil {
+			// EM width floors against the *current* parasitics: early
+			// passes see the conservative (heavier-wire) floors, later
+			// passes relax them as downstream capacitance drops — the
+			// assignment converges to the floors of its own final state.
+			emFloor, err = EMFloors(t, te, lib, cfg.InSlew, *cfg.EM)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Skew budget: never worse than what we started the pass with,
+		// and no worse than the bound when we are inside it.
+		arrivals := make([]float64, len(span.node))
+		for pos, v := range span.node {
+			arrivals[pos] = res.Arrival[v]
+		}
+		at := newArrTree(arrivals)
+		// Stay comfortably inside the bound: the stage-model arrivals the
+		// segment tree tracks drift slightly from full STA (input-slew
+		// cascades), so targeting 80% of the bound keeps the *real* final
+		// skew under it without needing a heavy repair afterwards.
+		skewBudget := 0.8 * cfg.MaxSkew
+		if s := res.Skew(); s > skewBudget {
+			skewBudget = s
+		}
+
+		changed := 0
+		for _, u := range stageDrivers(t) {
+			se := newStageEval(t, te, lib, u)
+			if len(se.nodes) == 0 {
+				continue
+			}
+			inSlew := res.Slew[u]
+			cur := se.eval(inSlew)
+			if cur.worstSlew > slewLimit {
+				continue // no headroom; recovery sweep handles true violations
+			}
+			for _, v := range se.candidateOrder(cfg.Order, byCap) {
+				curCost := te.Layer.CPerUm(te.Rule(t.Nodes[v].Rule))
+				for _, ri := range byCap {
+					if te.Layer.CPerUm(te.Rule(ri)) >= curCost {
+						break // remaining candidates are not cheaper
+					}
+					if emFloor != nil && te.Rule(ri).WMult < emFloor[v] {
+						continue // below the electromigration width floor
+					}
+					old := t.Nodes[v].Rule
+					t.Nodes[v].Rule = ri
+					cand := se.eval(inSlew)
+					if cand.worstSlew > slewLimit ||
+						se.maxEndpointShift(cand, cur) > cfg.EdgeDeltaCap {
+						t.Nodes[v].Rule = old
+						continue
+					}
+					// Exact global skew check: shift each endpoint's sink
+					// subtree by its arrival delta.
+					se.applyShifts(at, span, cand, cur)
+					if at.Skew() > skewBudget {
+						se.applyShifts(at, span, cur, cand) // revert
+						t.Nodes[v].Rule = old
+						continue
+					}
+					cur = cand
+					changed++
+					stats.Downgrades++
+					break // cheapest passing rule wins
+				}
+			}
+		}
+		stats.Passes++
+		if changed == 0 {
+			break
+		}
+	}
+
+	// Constraint cleanup: skew repair and slew recovery interact — snakes
+	// can push marginal transitions over the bound, and recovery upgrades
+	// shift arrivals — so the two alternate until both are clean (or no
+	// move helps). Repair itself is slew-safe (it rolls back iterations
+	// that create violations), and a fresh call restarts its adaptive
+	// damping, so re-invoking it after upgrades keeps making progress.
+	stats.Upgrades += recoverViolations(t, te, lib, cfg, slewLimit, cfg.MaxSlew, byCap)
+	if !cfg.DisableRepair {
+		prevRepair := math.Inf(1)
+		for round := 0; round < 8; round++ {
+			rep, err := RepairSkew(t, te, lib, cfg.InSlew, cfg.MaxSkew, cfg.RepairIters)
+			if err != nil {
+				return nil, err
+			}
+			stats.RepairWire += rep.AddedWire
+			up := recoverViolations(t, te, lib, cfg, slewLimit, cfg.MaxSlew, byCap)
+			stats.Upgrades += up
+			if rep.Converged && up == 0 {
+				break
+			}
+			if up == 0 && rep.FinalSkew >= prevRepair*0.995 {
+				// Stuck on skew with clean transitions: buy headroom on
+				// the tight stages and let the next repair use it.
+				headroom := 0.90 * cfg.MaxSlew
+				hr := recoverViolations(t, te, lib, cfg, headroom, headroom, byCap)
+				stats.Upgrades += hr
+				if hr == 0 {
+					break // nothing left to upgrade; accept the residual
+				}
+			}
+			prevRepair = rep.FinalSkew
+		}
+	}
+	res, err = sta.Analyze(t, te, lib, cfg.InSlew)
+	if err != nil {
+		return nil, err
+	}
+	stats.CapAfter = res.TotalSwitchedCap()
+	stats.FinalSkew = res.Skew()
+	stats.FinalSlew, _ = res.WorstSlew()
+	return stats, nil
+}
+
+// recoverViolations upgrades rule classes and, when drive-limited, the
+// stage drivers of every stage violating the slew limit, iterating against
+// fresh full analyses until clean or stuck. Returns the upgrade count.
+// enforceLimit is the per-stage target upgrades aim for; exitLimit is the
+// global transition level that counts as "clean".
+func recoverViolations(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config, enforceLimit, exitLimit float64, byCap []int) int {
+	total := 0
+	for round := 0; round < 5; round++ {
+		res, err := sta.Analyze(t, te, lib, cfg.InSlew)
+		if err != nil {
+			return total
+		}
+		if res.SlewViolations(exitLimit) == 0 {
+			return total
+		}
+		fixed := 0
+		for _, u := range stageDrivers(t) {
+			se := newStageEval(t, te, lib, u)
+			if len(se.nodes) == 0 {
+				continue
+			}
+			inSlew := res.Slew[u]
+			if se.eval(inSlew).worstSlew <= enforceLimit {
+				continue
+			}
+			fixed += se.upgradeUntilMet(inSlew, enforceLimit, byCap)
+			// Rule upgrades alone cannot fix a drive-limited stage: the
+			// transition is dominated by the driver's output slew at its
+			// load. Upsize the driver until the stage meets or the library
+			// tops out.
+			for se.eval(inSlew).worstSlew > enforceLimit &&
+				t.Nodes[u].BufIdx < len(lib.Buffers)-1 {
+				t.Nodes[u].BufIdx++
+				fixed++
+			}
+		}
+		total += fixed
+		if fixed == 0 {
+			return total
+		}
+	}
+	return total
+}
+
+// applyShifts moves the arrival tree from state `from` to state `to` by
+// range-adding each endpoint's delta over its sink span.
+func (se *stageEval) applyShifts(at *arrTree, span *sinkSpan, to, from stageState) {
+	for i, v := range se.nodes {
+		if !se.endpoint[i] {
+			continue
+		}
+		if d := to.arr[i] - from.arr[i]; d != 0 {
+			at.Add(span.lo[v], span.hi[v]-1, d)
+		}
+	}
+}
+
+// candidateOrder returns the stage's edge nodes in the configured order.
+func (se *stageEval) candidateOrder(o Order, byCap []int) []int {
+	out := append([]int(nil), se.nodes...)
+	switch o {
+	case ByIndex:
+		sort.Ints(out)
+	case ByReverse:
+		sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	default: // BySensitivity: largest cap saving first
+		cheapest := byCap[0]
+		gain := func(v int) float64 {
+			nd := &se.t.Nodes[v]
+			return nd.EdgeLen * (se.te.Layer.CPerUm(se.te.Rule(nd.Rule)) -
+				se.te.Layer.CPerUm(se.te.Rule(cheapest)))
+		}
+		sort.Slice(out, func(a, b int) bool { return gain(out[a]) > gain(out[b]) })
+	}
+	return out
+}
+
+// upgradeUntilMet strengthens stage edges (the change that improves the
+// stage's worst transition most, first) until the stage meets the slew
+// limit or no upgrade helps. Returns the number of upgrades applied.
+func (se *stageEval) upgradeUntilMet(inSlew, slewLimit float64, byCap []int) int {
+	n := 0
+	for guard := 0; guard < len(se.nodes)*len(byCap)+1; guard++ {
+		base := se.eval(inSlew)
+		if base.worstSlew <= slewLimit {
+			return n
+		}
+		bestV, bestRule := -1, -1
+		bestSlew := base.worstSlew
+		for _, v := range se.nodes {
+			old := se.t.Nodes[v].Rule
+			for _, ri := range byCap {
+				if ri == old {
+					continue
+				}
+				se.t.Nodes[v].Rule = ri
+				cand := se.eval(inSlew)
+				if cand.worstSlew < bestSlew {
+					bestSlew = cand.worstSlew
+					bestV, bestRule = v, ri
+				}
+			}
+			se.t.Nodes[v].Rule = old
+		}
+		if bestV < 0 {
+			return n // nothing helps
+		}
+		se.t.Nodes[bestV].Rule = bestRule
+		n++
+	}
+	return n
+}
+
+// rulesByCap returns rule indices sorted by capacitance per micron,
+// cheapest first.
+func rulesByCap(te *tech.Tech) []int {
+	out := make([]int, te.NumRules())
+	for i := range out {
+		out[i] = i
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return te.Layer.CPerUm(te.Rule(out[a])) < te.Layer.CPerUm(te.Rule(out[b]))
+	})
+	return out
+}

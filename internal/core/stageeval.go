@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+
+	"smartndr/internal/cell"
+	"smartndr/internal/ctree"
+	"smartndr/internal/rctree"
+	"smartndr/internal/tech"
+)
+
+// stageEval evaluates one buffer stage in isolation: the RC tree between a
+// driver buffer's output and the next buffer inputs / sinks. Candidate
+// rule changes are scored by re-evaluating only this stage — O(stage size)
+// instead of O(tree) — which is what makes the greedy downgrade scale.
+type stageEval struct {
+	t      *ctree.Tree
+	te     *tech.Tech
+	lib    *cell.Library
+	driver int
+	// nodes lists the stage's nodes (driver excluded) in parent-before-
+	// child order; the driver's children come first.
+	nodes []int
+	// endpoint[i] marks nodes[i] as a stage endpoint (buffer input or
+	// sink pin).
+	endpoint []bool
+	// local index of each tree node in `nodes` (+1; 0 = absent).
+	local map[int]int
+
+	// scratch, indexed parallel to nodes:
+	down []float64 // π-lumped downstream cap within stage
+	elm  []float64 // Elmore from driver output
+}
+
+// stageState is one evaluation outcome.
+type stageState struct {
+	stageCap  float64
+	bufDelay  float64
+	outSlew   float64
+	worstSlew float64 // max transition over endpoints
+	// arr[i] is the arrival at nodes[i] relative to the driver *input*
+	// (buffer delay + wire Elmore); only endpoint entries are meaningful.
+	arr []float64
+}
+
+// newStageEval collects the stage rooted at the buffered node driver.
+func newStageEval(t *ctree.Tree, te *tech.Tech, lib *cell.Library, driver int) *stageEval {
+	se := &stageEval{t: t, te: te, lib: lib, driver: driver, local: make(map[int]int)}
+	var walk func(n int)
+	walk = func(n int) {
+		for _, k := range t.Nodes[n].Kids {
+			if k == ctree.NoNode {
+				continue
+			}
+			se.nodes = append(se.nodes, k)
+			se.local[k] = len(se.nodes)
+			end := t.Nodes[k].BufIdx != ctree.NoBuf || t.IsLeaf(k)
+			se.endpoint = append(se.endpoint, end)
+			if !end {
+				walk(k)
+			}
+		}
+	}
+	walk(driver)
+	se.down = make([]float64, len(se.nodes))
+	se.elm = make([]float64, len(se.nodes))
+	return se
+}
+
+// eval recomputes the stage under the tree's current rule assignment for
+// the given transition at the driver's input pin.
+func (se *stageEval) eval(inSlew float64) stageState {
+	t, te := se.t, se.te
+	// Downstream caps, children-before-parents (reverse of `nodes`).
+	for i := len(se.nodes) - 1; i >= 0; i-- {
+		v := se.nodes[i]
+		nd := &t.Nodes[v]
+		ec := te.WireC(nd.EdgeLen, nd.Rule)
+		d := ec / 2
+		switch {
+		case nd.BufIdx != ctree.NoBuf:
+			d += se.lib.Buffers[nd.BufIdx].InputCap
+		case t.IsLeaf(v):
+			d += t.Sinks[nd.SinkIdx].Cap
+		default:
+			for _, k := range nd.Kids {
+				if k == ctree.NoNode {
+					continue
+				}
+				j := se.local[k] - 1
+				d += se.down[j] + te.WireC(t.Nodes[k].EdgeLen, t.Nodes[k].Rule)/2
+			}
+		}
+		se.down[i] = d
+	}
+	// Stage load seen by the driver.
+	st := stageState{arr: make([]float64, len(se.nodes))}
+	for _, k := range t.Nodes[se.driver].Kids {
+		if k == ctree.NoNode {
+			continue
+		}
+		j := se.local[k] - 1
+		st.stageCap += se.down[j] + te.WireC(t.Nodes[k].EdgeLen, t.Nodes[k].Rule)/2
+	}
+	b := &se.lib.Buffers[t.Nodes[se.driver].BufIdx]
+	st.bufDelay = b.DelayAt(inSlew, st.stageCap)
+	st.outSlew = b.OutSlewAt(inSlew, st.stageCap)
+	// Elmore, parents-before-children (forward order).
+	for i, v := range se.nodes {
+		nd := &t.Nodes[v]
+		base := 0.0
+		if p := nd.Parent; p != se.driver {
+			base = se.elm[se.local[p]-1]
+		}
+		se.elm[i] = base + te.WireR(nd.EdgeLen, nd.Rule)*se.down[i]
+		st.arr[i] = st.bufDelay + se.elm[i]
+		if se.endpoint[i] {
+			if s := math.Hypot(st.outSlew, rctree.Ln9*se.elm[i]); s > st.worstSlew {
+				st.worstSlew = s
+			}
+		}
+	}
+	if len(se.nodes) == 0 {
+		st.worstSlew = st.outSlew
+	}
+	return st
+}
+
+// maxEndpointShift returns the largest |arrival delta| over endpoints
+// between two states of the same stage.
+func (se *stageEval) maxEndpointShift(a, b stageState) float64 {
+	worst := 0.0
+	for i := range se.nodes {
+		if !se.endpoint[i] {
+			continue
+		}
+		if d := math.Abs(a.arr[i] - b.arr[i]); d > worst {
+			worst = d
+		}
+	}
+	if len(se.nodes) == 0 {
+		worst = math.Abs((a.bufDelay) - (b.bufDelay))
+	}
+	return worst
+}
+
+// stageDrivers returns all buffered nodes in parents-first order.
+func stageDrivers(t *ctree.Tree) []int {
+	var out []int
+	t.PreOrder(func(i int) {
+		if t.Nodes[i].BufIdx != ctree.NoBuf {
+			out = append(out, i)
+		}
+	})
+	return out
+}

@@ -1,0 +1,301 @@
+// Package ctree defines the clock-tree data model shared by the synthesis
+// stages: a binary routing topology over clock sinks, annotated step by
+// step with embedding locations (DME), electrical edge lengths (including
+// wire snaking), buffer placements, and per-edge routing-rule assignments.
+//
+// A Tree flows through the pipeline:
+//
+//	topo.Build   → topology (Parent/Kids/SinkIdx set)
+//	dme.Embed    → Loc and EdgeLen set, zero-skew by construction
+//	buffering    → BufIdx set on selected nodes
+//	ndr / core   → Rule set per edge
+//	sta / power  → read-only evaluation
+package ctree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"smartndr/internal/geom"
+)
+
+// NoSink marks internal (Steiner/merge) nodes.
+const NoSink = -1
+
+// NoBuf marks nodes without a buffer.
+const NoBuf = -1
+
+// NoNode is the parent of the root.
+const NoNode = -1
+
+// Sink is one clock endpoint: a flip-flop clock pin (or a clock-gating cell
+// input) with a location and a pin capacitance. Delay is the insertion
+// delay *below* the pin: zero for real flip-flop sinks, nonzero when the
+// "sink" is the input of an already-built buffered subtree (hierarchical
+// CTS builds upper levels over such pseudo-sinks, and DME balances the
+// offsets away).
+type Sink struct {
+	Name  string     `json:"name"`
+	Loc   geom.Point `json:"loc"`             // µm
+	Cap   float64    `json:"cap"`             // F
+	Delay float64    `json:"delay,omitempty"` // s, insertion delay below the pin
+}
+
+// Node is one vertex of the clock tree. The edge referred to by EdgeLen and
+// Rule is the edge from the node's parent down to the node ("the feeding
+// edge"); the root has none.
+type Node struct {
+	Parent  int        // NoNode for the root
+	Kids    [2]int     // child node indexes; NoNode when absent
+	SinkIdx int        // index into Tree.Sinks, or NoSink
+	Loc     geom.Point // embedding location (valid after DME)
+	EdgeLen float64    // electrical length of feeding edge, µm (≥ Manhattan distance to parent; surplus is snaked)
+	Rule    int        // routing-rule index (tech.Tech.Rules) of the feeding edge
+	BufIdx  int        // buffer cell index (cell.Library.Buffers) placed at this node, or NoBuf
+}
+
+// Tree is a clock tree over a fixed sink set. Nodes[Root] is the tree root,
+// driven by the clock source at SrcLoc.
+type Tree struct {
+	Sinks  []Sink
+	Nodes  []Node
+	Root   int
+	SrcLoc geom.Point // clock source (e.g. PLL output) location
+}
+
+// NewTree returns a tree with the given sinks and no nodes.
+func NewTree(sinks []Sink, src geom.Point) *Tree {
+	return &Tree{Sinks: sinks, Root: NoNode, SrcLoc: src}
+}
+
+// AddNode appends a node and returns its index. Parent/child links are the
+// caller's responsibility (topology builders wire them explicitly).
+func (t *Tree) AddNode(n Node) int {
+	t.Nodes = append(t.Nodes, n)
+	return len(t.Nodes) - 1
+}
+
+// NumKids returns the number of children of node i.
+func (t *Tree) NumKids(i int) int {
+	n := 0
+	for _, k := range t.Nodes[i].Kids {
+		if k != NoNode {
+			n++
+		}
+	}
+	return n
+}
+
+// IsLeaf reports whether node i has no children.
+func (t *Tree) IsLeaf(i int) bool { return t.NumKids(i) == 0 }
+
+// PostOrder calls fn on every node, children before parents.
+func (t *Tree) PostOrder(fn func(i int)) {
+	if t.Root == NoNode {
+		return
+	}
+	// Iterative post-order with an explicit stack to survive deep trees.
+	type frame struct {
+		node int
+		kid  int
+	}
+	stack := []frame{{t.Root, 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		advanced := false
+		for f.kid < 2 {
+			k := t.Nodes[f.node].Kids[f.kid]
+			f.kid++
+			if k != NoNode {
+				stack = append(stack, frame{k, 0})
+				advanced = true
+				break
+			}
+		}
+		if advanced {
+			continue
+		}
+		fn(f.node)
+		stack = stack[:len(stack)-1]
+	}
+}
+
+// PreOrder calls fn on every node, parents before children.
+func (t *Tree) PreOrder(fn func(i int)) {
+	if t.Root == NoNode {
+		return
+	}
+	stack := []int{t.Root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		fn(n)
+		for _, k := range t.Nodes[n].Kids {
+			if k != NoNode {
+				stack = append(stack, k)
+			}
+		}
+	}
+}
+
+// Depth returns the depth (root = 0) of every node.
+func (t *Tree) Depth() []int {
+	d := make([]int, len(t.Nodes))
+	t.PreOrder(func(i int) {
+		if p := t.Nodes[i].Parent; p != NoNode {
+			d[i] = d[p] + 1
+		}
+	})
+	return d
+}
+
+// MaxDepth returns the maximum node depth (0 for a single-node tree).
+func (t *Tree) MaxDepth() int {
+	maxD := 0
+	for _, d := range t.Depth() {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// LeafCount returns the number of leaves.
+func (t *Tree) LeafCount() int {
+	n := 0
+	for i := range t.Nodes {
+		if t.IsLeaf(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalWirelength returns the sum of all electrical edge lengths, µm.
+func (t *Tree) TotalWirelength() float64 {
+	var sum float64
+	for i := range t.Nodes {
+		if t.Nodes[i].Parent != NoNode {
+			sum += t.Nodes[i].EdgeLen
+		}
+	}
+	return sum
+}
+
+// BufferCount returns the number of placed buffers.
+func (t *Tree) BufferCount() int {
+	n := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].BufIdx != NoBuf {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy (sinks shared; they are immutable inputs).
+func (t *Tree) Clone() *Tree {
+	c := &Tree{Sinks: t.Sinks, Root: t.Root, SrcLoc: t.SrcLoc}
+	c.Nodes = make([]Node, len(t.Nodes))
+	copy(c.Nodes, t.Nodes)
+	return c
+}
+
+// SetAllRules assigns rule index ri to every edge.
+func (t *Tree) SetAllRules(ri int) {
+	for i := range t.Nodes {
+		t.Nodes[i].Rule = ri
+	}
+}
+
+// Validate checks the structural invariants every pipeline stage relies on.
+func (t *Tree) Validate() error {
+	if len(t.Sinks) == 0 {
+		return errors.New("ctree: no sinks")
+	}
+	if t.Root == NoNode {
+		return errors.New("ctree: no root")
+	}
+	if t.Root < 0 || t.Root >= len(t.Nodes) {
+		return fmt.Errorf("ctree: root %d out of range", t.Root)
+	}
+	if t.Nodes[t.Root].Parent != NoNode {
+		return errors.New("ctree: root has a parent")
+	}
+	seenSink := make([]bool, len(t.Sinks))
+	visited := 0
+	var err error
+	t.PreOrder(func(i int) {
+		if err != nil {
+			return
+		}
+		visited++
+		n := &t.Nodes[i]
+		for _, k := range n.Kids {
+			if k == NoNode {
+				continue
+			}
+			if k < 0 || k >= len(t.Nodes) {
+				err = fmt.Errorf("ctree: node %d has out-of-range child %d", i, k)
+				return
+			}
+			if t.Nodes[k].Parent != i {
+				err = fmt.Errorf("ctree: node %d child %d has parent %d", i, k, t.Nodes[k].Parent)
+				return
+			}
+		}
+		if n.SinkIdx != NoSink {
+			if n.SinkIdx < 0 || n.SinkIdx >= len(t.Sinks) {
+				err = fmt.Errorf("ctree: node %d has out-of-range sink %d", i, n.SinkIdx)
+				return
+			}
+			if seenSink[n.SinkIdx] {
+				err = fmt.Errorf("ctree: sink %d reached by two nodes", n.SinkIdx)
+				return
+			}
+			seenSink[n.SinkIdx] = true
+			if !t.IsLeaf(i) {
+				err = fmt.Errorf("ctree: sink node %d has children", i)
+				return
+			}
+		} else if t.IsLeaf(i) {
+			err = fmt.Errorf("ctree: leaf node %d has no sink", i)
+			return
+		}
+		if n.EdgeLen < 0 || math.IsNaN(n.EdgeLen) {
+			err = fmt.Errorf("ctree: node %d has bad edge length %g", i, n.EdgeLen)
+			return
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if visited != len(t.Nodes) {
+		return fmt.Errorf("ctree: %d of %d nodes unreachable from root", len(t.Nodes)-visited, len(t.Nodes))
+	}
+	for si, seen := range seenSink {
+		if !seen {
+			return fmt.Errorf("ctree: sink %d (%s) not covered by the tree", si, t.Sinks[si].Name)
+		}
+	}
+	return nil
+}
+
+// CheckEmbedding verifies the geometric invariant left by DME: every edge's
+// electrical length covers the Manhattan distance between its endpoints
+// (the surplus is realized by snaking).
+func (t *Tree) CheckEmbedding(eps float64) error {
+	for i := range t.Nodes {
+		p := t.Nodes[i].Parent
+		if p == NoNode {
+			continue
+		}
+		d := t.Nodes[i].Loc.Dist(t.Nodes[p].Loc)
+		if t.Nodes[i].EdgeLen < d-eps {
+			return fmt.Errorf("ctree: edge %d→%d length %.4f below Manhattan distance %.4f",
+				p, i, t.Nodes[i].EdgeLen, d)
+		}
+	}
+	return nil
+}

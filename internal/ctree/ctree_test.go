@@ -1,0 +1,190 @@
+package ctree
+
+import (
+	"strings"
+	"testing"
+
+	"smartndr/internal/geom"
+)
+
+// pairTree builds the minimal valid tree: one root joining two sinks.
+func pairTree() *Tree {
+	sinks := []Sink{
+		{Name: "s0", Loc: geom.Point{X: 0, Y: 0}, Cap: 1e-15},
+		{Name: "s1", Loc: geom.Point{X: 10, Y: 0}, Cap: 2e-15},
+	}
+	t := NewTree(sinks, geom.Point{X: 5, Y: 5})
+	l0 := t.AddNode(Node{Parent: NoNode, Kids: [2]int{NoNode, NoNode}, SinkIdx: 0, Loc: sinks[0].Loc, BufIdx: NoBuf})
+	l1 := t.AddNode(Node{Parent: NoNode, Kids: [2]int{NoNode, NoNode}, SinkIdx: 1, Loc: sinks[1].Loc, BufIdx: NoBuf})
+	r := t.AddNode(Node{Parent: NoNode, Kids: [2]int{l0, l1}, SinkIdx: NoSink, Loc: geom.Point{X: 5, Y: 0}, BufIdx: NoBuf})
+	t.Nodes[l0].Parent = r
+	t.Nodes[l1].Parent = r
+	t.Nodes[l0].EdgeLen = 5
+	t.Nodes[l1].EdgeLen = 5
+	t.Root = r
+	return t
+}
+
+func TestValidateAcceptsPair(t *testing.T) {
+	tr := pairTree()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBroken(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Tree)
+		want   string
+	}{
+		{"no root", func(tr *Tree) { tr.Root = NoNode }, "no root"},
+		{"root oob", func(tr *Tree) { tr.Root = 99 }, "out of range"},
+		{"root has parent", func(tr *Tree) { tr.Nodes[tr.Root].Parent = 0 }, "root has a parent"},
+		{"bad child link", func(tr *Tree) { tr.Nodes[0].Parent = 1 }, "has parent"},
+		{"dup sink", func(tr *Tree) { tr.Nodes[1].SinkIdx = 0 }, "two nodes"},
+		{"sink oob", func(tr *Tree) { tr.Nodes[0].SinkIdx = 7 }, "out-of-range sink"},
+		{"leaf without sink", func(tr *Tree) { tr.Nodes[0].SinkIdx = NoSink }, "no sink"},
+		{"negative edge len", func(tr *Tree) { tr.Nodes[0].EdgeLen = -1 }, "bad edge length"},
+		{"orphan node", func(tr *Tree) { tr.AddNode(Node{Parent: NoNode, Kids: [2]int{NoNode, NoNode}, SinkIdx: NoSink}) }, "unreachable"},
+	}
+	for _, c := range cases {
+		tr := pairTree()
+		c.mutate(tr)
+		err := tr.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate should fail", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q should mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidateNoSinks(t *testing.T) {
+	tr := NewTree(nil, geom.Point{})
+	if err := tr.Validate(); err == nil {
+		t.Error("empty sink set should fail")
+	}
+}
+
+func TestOrders(t *testing.T) {
+	tr := pairTree()
+	var post, pre []int
+	tr.PostOrder(func(i int) { post = append(post, i) })
+	tr.PreOrder(func(i int) { pre = append(pre, i) })
+	if len(post) != 3 || len(pre) != 3 {
+		t.Fatalf("orders must visit all nodes: post=%v pre=%v", post, pre)
+	}
+	if post[len(post)-1] != tr.Root {
+		t.Error("post-order must end at root")
+	}
+	if pre[0] != tr.Root {
+		t.Error("pre-order must start at root")
+	}
+}
+
+func TestDepthAndCounts(t *testing.T) {
+	tr := pairTree()
+	d := tr.Depth()
+	if d[tr.Root] != 0 || d[0] != 1 || d[1] != 1 {
+		t.Errorf("Depth = %v", d)
+	}
+	if tr.MaxDepth() != 1 {
+		t.Errorf("MaxDepth = %d", tr.MaxDepth())
+	}
+	if tr.LeafCount() != 2 {
+		t.Errorf("LeafCount = %d", tr.LeafCount())
+	}
+	if tr.NumKids(tr.Root) != 2 {
+		t.Errorf("NumKids(root) = %d", tr.NumKids(tr.Root))
+	}
+	if !tr.IsLeaf(0) || tr.IsLeaf(tr.Root) {
+		t.Error("IsLeaf wrong")
+	}
+}
+
+func TestTotalWirelength(t *testing.T) {
+	tr := pairTree()
+	if got := tr.TotalWirelength(); got != 10 {
+		t.Errorf("TotalWirelength = %g, want 10", got)
+	}
+}
+
+func TestBufferCount(t *testing.T) {
+	tr := pairTree()
+	if tr.BufferCount() != 0 {
+		t.Error("fresh tree has no buffers")
+	}
+	tr.Nodes[tr.Root].BufIdx = 2
+	if tr.BufferCount() != 1 {
+		t.Error("BufferCount should see the placed buffer")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := pairTree()
+	c := tr.Clone()
+	c.Nodes[0].Rule = 4
+	c.Nodes[0].EdgeLen = 99
+	if tr.Nodes[0].Rule == 4 || tr.Nodes[0].EdgeLen == 99 {
+		t.Error("Clone must not share node storage")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("clone invalid: %v", err)
+	}
+}
+
+func TestSetAllRules(t *testing.T) {
+	tr := pairTree()
+	tr.SetAllRules(3)
+	for i := range tr.Nodes {
+		if tr.Nodes[i].Rule != 3 {
+			t.Fatalf("node %d rule = %d", i, tr.Nodes[i].Rule)
+		}
+	}
+}
+
+func TestCheckEmbedding(t *testing.T) {
+	tr := pairTree()
+	if err := tr.CheckEmbedding(1e-9); err != nil {
+		t.Fatalf("valid embedding rejected: %v", err)
+	}
+	tr.Nodes[0].EdgeLen = 1 // below the Manhattan distance of 5
+	if err := tr.CheckEmbedding(1e-9); err == nil {
+		t.Error("short edge should fail embedding check")
+	}
+}
+
+func TestPostOrderDeepTree(t *testing.T) {
+	// A pathological 5000-deep chain must not overflow the stack (the
+	// traversals are iterative).
+	n := 5000
+	sinks := []Sink{{Name: "s", Loc: geom.Point{}, Cap: 1e-15}}
+	tr := NewTree(sinks, geom.Point{})
+	prev := NoNode
+	for i := 0; i < n; i++ {
+		id := tr.AddNode(Node{Parent: NoNode, Kids: [2]int{NoNode, NoNode}, SinkIdx: NoSink, BufIdx: NoBuf})
+		if prev != NoNode {
+			tr.Nodes[prev].Kids[0] = id
+			tr.Nodes[id].Parent = prev
+		} else {
+			tr.Root = id
+		}
+		prev = id
+	}
+	leaf := tr.AddNode(Node{Parent: prev, Kids: [2]int{NoNode, NoNode}, SinkIdx: 0, BufIdx: NoBuf})
+	tr.Nodes[prev].Kids[0] = leaf
+	count := 0
+	tr.PostOrder(func(int) { count++ })
+	if count != n+1 {
+		t.Fatalf("post-order visited %d of %d", count, n+1)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("deep chain invalid: %v", err)
+	}
+	if tr.MaxDepth() != n {
+		t.Fatalf("MaxDepth = %d, want %d", tr.MaxDepth(), n)
+	}
+}

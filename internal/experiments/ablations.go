@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smartndr/internal/cell"
+	"smartndr/internal/core"
+	"smartndr/internal/cts"
+	"smartndr/internal/report"
+	"smartndr/internal/sta"
+	"smartndr/internal/tech"
+	"smartndr/internal/workload"
+)
+
+// A1OrderAblation compares the optimizer's candidate orderings:
+// sensitivity (largest cap gain first) vs structural index orders. The
+// expected shape: sensitivity matches or beats the naive orders in final
+// capacitance at equal constraint compliance — ordering matters because
+// early acceptances consume the shared skew budget.
+func A1OrderAblation(o Options) error {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	specs := []string{"cns02", "cns03"}
+	if o.Quick {
+		specs = specs[:1]
+	}
+	tb := report.NewTable("A1: candidate-ordering ablation",
+		"bench", "order", "cap (pF)", "power (mW)", "downgrades", "viol", "skew (ps)")
+	for _, name := range specs {
+		spec, err := workload.ByName(name)
+		if err != nil {
+			return err
+		}
+		if o.Quick {
+			spec.Sinks /= 4
+		}
+		_, tree, err := build(spec, te, lib)
+		if err != nil {
+			return err
+		}
+		for _, ord := range []core.Order{core.BySensitivity, core.ByIndex, core.ByReverse} {
+			t := tree.Clone()
+			core.AssignAll(t, te.BlanketRule)
+			stats, err := core.Optimize(t, te, lib, core.Config{Order: ord})
+			if err != nil {
+				return err
+			}
+			m, _, err := core.Evaluate(t, te, lib, 40e-12)
+			if err != nil {
+				return err
+			}
+			tb.AddRow(spec.Name, ord.String(), report.PF(m.SwitchedCap),
+				report.MW(m.Power.Total()), fmt.Sprintf("%d", stats.Downgrades),
+				fmt.Sprintf("%d", m.SlewViol), report.Ps(m.Skew))
+		}
+	}
+	return tb.Render(o.Out)
+}
+
+// A2RepairAblation isolates the integrated skew repair: without it the
+// optimizer's residual perturbation stays in the skew number; with it the
+// bound is met for a small wire premium.
+func A2RepairAblation(o Options) error {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	spec := figureSpec(o)
+	_, tree, err := build(spec, te, lib)
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("A2: skew-repair ablation ("+spec.Name+")",
+		"repair", "skew (ps)", "bound met", "repair wire (µm)", "power (mW)", "cap (pF)")
+	for _, disable := range []bool{true, false} {
+		t := tree.Clone()
+		core.AssignAll(t, te.BlanketRule)
+		stats, err := core.Optimize(t, te, lib, core.Config{DisableRepair: disable})
+		if err != nil {
+			return err
+		}
+		m, _, err := core.Evaluate(t, te, lib, 40e-12)
+		if err != nil {
+			return err
+		}
+		name := "on"
+		if disable {
+			name = "off"
+		}
+		tb.AddRow(name, report.Ps(m.Skew),
+			fmt.Sprintf("%v", m.Skew <= te.MaxSkew),
+			report.Um(stats.RepairWire), report.MW(m.Power.Total()),
+			report.PF(m.SwitchedCap))
+	}
+	return tb.Render(o.Out)
+}
+
+// A3ModelAblation isolates the construction models: the exact repeated-
+// line top-tree model vs the amortized linear rate, and the STA-feedback
+// trim loop on vs off. The expected shape: disabling either inflates the
+// construction skew the downstream flow must absorb.
+func A3ModelAblation(o Options) error {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	spec := figureSpec(o)
+	bm, err := workload.Generate(spec)
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("A3: construction-model ablation ("+spec.Name+")",
+		"top model", "trim loop", "construction skew (ps)", "worst slew (ps)", "WL (mm)")
+	for _, cfg := range []struct {
+		linear, noCal bool
+	}{
+		{false, false},
+		{true, false},
+		{false, true},
+		{true, true},
+	} {
+		res, err := cts.Build(bm.Sinks, bm.Src, te, lib, cts.Options{
+			LinearTopModel: cfg.linear,
+			NoCalibration:  cfg.noCal,
+		})
+		if err != nil {
+			return err
+		}
+		res.Tree.SetAllRules(te.BlanketRule)
+		an, err := sta.Analyze(res.Tree, te, lib, 40e-12)
+		if err != nil {
+			return err
+		}
+		model := "repeated"
+		if cfg.linear {
+			model = "linear"
+		}
+		trim := "on"
+		if cfg.noCal {
+			trim = "off"
+		}
+		w, _ := an.WorstSlew()
+		tb.AddRow(model, trim, report.Ps(an.Skew()), report.Ps(w),
+			fmt.Sprintf("%.2f", res.Tree.TotalWirelength()/1000))
+	}
+	return tb.Render(o.Out)
+}

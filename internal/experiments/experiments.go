@@ -1,0 +1,290 @@
+// Package experiments regenerates every table and figure of the
+// reconstructed evaluation (see DESIGN.md §3 — the original paper text was
+// unavailable, so the suite follows the conventions of the CTS-power
+// literature). Each experiment renders an aligned text table to the given
+// writer and, when a data directory is set, dumps the plotted series as
+// CSV. The same entry points back the root-level testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"smartndr/internal/cell"
+	"smartndr/internal/core"
+	"smartndr/internal/ctree"
+	"smartndr/internal/cts"
+	"smartndr/internal/rctree"
+	"smartndr/internal/report"
+	"smartndr/internal/sio"
+	"smartndr/internal/tech"
+	"smartndr/internal/workload"
+)
+
+// Options configure an experiment run.
+type Options struct {
+	// Out receives the rendered tables.
+	Out io.Writer
+	// DataDir, when non-empty, receives CSV series for the figures.
+	DataDir string
+	// Quick trims workload sizes so the full suite runs in seconds —
+	// used by tests and the root benchmarks; the shapes are unchanged.
+	Quick bool
+}
+
+// Runner is one registered experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(Options) error
+}
+
+// Registry lists all experiments in presentation order.
+func Registry() []Runner {
+	return []Runner{
+		{"t1", "T1: NDR rule-class characterization", T1RuleCharacterization},
+		{"t2", "T2: main per-benchmark comparison", T2MainComparison},
+		{"t3", "T3: runtime scaling", T3RuntimeScaling},
+		{"f1", "F1: power vs slew-constraint sweep", F1SlewSweep},
+		{"f2", "F2: NDR usage by stage depth", F2DepthProfile},
+		{"f3", "F3: skew under process variation", F3Variation},
+		{"f4", "F4: power/robustness vs NDR fraction (TopK sweep)", F4TopKSweep},
+		{"a1", "A1: candidate-ordering ablation", A1OrderAblation},
+		{"a2", "A2: skew-repair ablation", A2RepairAblation},
+		{"a3", "A3: construction-model ablation", A3ModelAblation},
+		{"t4", "T4: three-corner signoff", T4MultiCorner},
+		{"t5", "T5: electromigration audit", T5ElectromigrationAudit},
+		{"a4", "A4: greedy vs exhaustive optimal", A4OptimalityGap},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Runner, error) {
+	for _, r := range Registry() {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return Runner{}, fmt.Errorf("experiments: unknown id %q", id)
+}
+
+// All runs the full suite.
+func All(o Options) error {
+	for _, r := range Registry() {
+		if err := r.Run(o); err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		fmt.Fprintln(o.Out)
+	}
+	return nil
+}
+
+// suite returns the benchmark list for the options.
+func suite(o Options) []workload.Spec {
+	specs := workload.CNSSuite()
+	if o.Quick {
+		quick := specs[:2]
+		out := make([]workload.Spec, len(quick))
+		copy(out, quick)
+		for i := range out {
+			out[i].Sinks /= 4
+		}
+		return out
+	}
+	return specs
+}
+
+// build constructs the blanket tree for a spec.
+func build(spec workload.Spec, te *tech.Tech, lib *cell.Library) (*workload.Benchmark, *ctree.Tree, error) {
+	bm, err := workload.Generate(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := cts.Build(bm.Sinks, bm.Src, te, lib, cts.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Tree.SetAllRules(te.BlanketRule)
+	return bm, res.Tree, nil
+}
+
+// T1RuleCharacterization tabulates each rule class's per-micron parasitics
+// and the delay/slew of a canonical 1 mm repeater-free stage — the table
+// that motivates everything else: NDRs buy RC speed with capacitance.
+func T1RuleCharacterization(o Options) error {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tb := report.NewTable(
+		"T1: rule-class characterization (tech45, 1 mm stage driven by "+lib.Strongest().Name+")",
+		"rule", "r (Ω/µm)", "c (fF/µm)", "pitch (µm)", "elmore (ps)", "slew (ps)", "cap vs 1W1S")
+	defC := te.Layer.CPerUm(te.Rule(te.DefaultRule))
+	const stage = 1000.0 // µm
+	drv := lib.Strongest()
+	for i := 0; i < te.NumRules(); i++ {
+		rule := te.Rule(i)
+		r := te.Layer.RPerUm(rule)
+		c := te.Layer.CPerUm(rule)
+		elm := r * stage * (c*stage/2 + 2e-15)
+		outSlew := drv.OutSlewAt(50e-12, c*stage+2e-15)
+		slew := math.Hypot(outSlew, rctree.Ln9*elm)
+		tb.AddRow(rule.Name,
+			fmt.Sprintf("%.2f", r),
+			fmt.Sprintf("%.3f", c*1e15),
+			fmt.Sprintf("%.3f", te.Layer.TrackPitch(rule)),
+			report.Ps(elm),
+			report.Ps(slew),
+			report.Pct(c/defC-1),
+		)
+	}
+	return tb.Render(o.Out)
+}
+
+// T2MainComparison is the headline table: per benchmark, the four schemes'
+// clock power, wirelength, buffers, worst slew, and skew. The shape to
+// check: Smart ≤ Blanket power with zero violations; AllDefault cheapest
+// but violating; TopK in between.
+func T2MainComparison(o Options) error {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tb := report.NewTable(
+		"T2: scheme comparison (tech45; slew ≤ "+report.Ps(te.MaxSlew)+" ps, skew ≤ "+report.Ps(te.MaxSkew)+" ps)",
+		"bench", "sinks", "scheme", "power (mW)", "Δpower", "cap (pF)", "WL (mm)", "bufs",
+		"slew (ps)", "viol", "skew (ps)", "NDR len")
+	var series struct {
+		bench                     []float64
+		smart, blanket, def, topk []float64
+	}
+	for bi, spec := range suite(o) {
+		_, tree, err := build(spec, te, lib)
+		if err != nil {
+			return err
+		}
+		type schemeRun struct {
+			name  string
+			apply func(t *ctree.Tree) error
+		}
+		runs := []schemeRun{
+			{"all-default", func(t *ctree.Tree) error { core.AssignAll(t, te.DefaultRule); return nil }},
+			{"blanket", func(t *ctree.Tree) error { core.AssignAll(t, te.BlanketRule); return nil }},
+			{"trunk", func(t *ctree.Tree) error { core.AssignTrunk(t, te); return nil }},
+			{"smart", func(t *ctree.Tree) error {
+				core.AssignAll(t, te.BlanketRule)
+				_, err := core.Optimize(t, te, lib, core.Config{})
+				return err
+			}},
+		}
+		var blanketPower float64
+		for _, run := range runs {
+			t := tree.Clone()
+			if err := run.apply(t); err != nil {
+				return err
+			}
+			m, _, err := core.Evaluate(t, te, lib, 40e-12)
+			if err != nil {
+				return err
+			}
+			p := m.Power.Total()
+			dp := "—"
+			if run.name == "blanket" {
+				blanketPower = p
+			} else if blanketPower > 0 {
+				dp = report.Pct(p/blanketPower - 1)
+			}
+			tb.AddRow(spec.Name, fmt.Sprintf("%d", spec.Sinks), run.name,
+				report.MW(p), dp, report.PF(m.SwitchedCap),
+				fmt.Sprintf("%.2f", m.Wirelength/1000),
+				fmt.Sprintf("%d", m.Buffers),
+				report.Ps(m.WorstSlew), fmt.Sprintf("%d", m.SlewViol),
+				report.Ps(m.Skew),
+				report.Pct(m.NDRFraction),
+			)
+			switch run.name {
+			case "smart":
+				series.smart = append(series.smart, p)
+			case "blanket":
+				series.blanket = append(series.blanket, p)
+			case "all-default":
+				series.def = append(series.def, p)
+			case "trunk":
+				series.topk = append(series.topk, p)
+			}
+		}
+		series.bench = append(series.bench, float64(bi+1))
+	}
+	if o.DataDir != "" {
+		if err := sio.WriteCSVFile(o.DataDir+"/t2_power.csv",
+			sio.Series{Name: "bench", Values: series.bench},
+			sio.Series{Name: "all_default_w", Values: series.def},
+			sio.Series{Name: "blanket_w", Values: series.blanket},
+			sio.Series{Name: "trunk_w", Values: series.topk},
+			sio.Series{Name: "smart_w", Values: series.smart},
+		); err != nil {
+			return err
+		}
+	}
+	return tb.Render(o.Out)
+}
+
+// T3RuntimeScaling measures wall-clock of synthesis and optimization
+// against sink count.
+func T3RuntimeScaling(o Options) error {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	sizes := []int{500, 1000, 2000, 4000, 8000, 16000}
+	if o.Quick {
+		sizes = []int{250, 500, 1000}
+	}
+	tb := report.NewTable("T3: runtime scaling (tech45, uniform sinks)",
+		"sinks", "nodes", "build (ms)", "optimize (ms)", "total (ms)")
+	var xs, build0, opt0 []float64
+	for _, n := range sizes {
+		spec := workload.Spec{
+			Name: fmt.Sprintf("scale%d", n), Dist: workload.Uniform, Sinks: n,
+			DieX: 3000 * math.Sqrt(float64(n)/1000), DieY: 2500 * math.Sqrt(float64(n)/1000),
+			CapMin: 1e-15, CapMax: 4e-15, Seed: int64(n),
+		}
+		bm, err := workload.Generate(spec)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		res, err := cts.Build(bm.Sinks, bm.Src, te, lib, cts.Options{})
+		if err != nil {
+			return err
+		}
+		buildMS := time.Since(t0).Seconds() * 1e3
+		res.Tree.SetAllRules(te.BlanketRule)
+		t1 := time.Now()
+		if _, err := core.Optimize(res.Tree, te, lib, core.Config{}); err != nil {
+			return err
+		}
+		optMS := time.Since(t1).Seconds() * 1e3
+		tb.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", len(res.Tree.Nodes)),
+			fmt.Sprintf("%.0f", buildMS), fmt.Sprintf("%.0f", optMS),
+			fmt.Sprintf("%.0f", buildMS+optMS))
+		xs = append(xs, float64(n))
+		build0 = append(build0, buildMS)
+		opt0 = append(opt0, optMS)
+	}
+	if o.DataDir != "" {
+		if err := sio.WriteCSVFile(o.DataDir+"/t3_runtime.csv",
+			sio.Series{Name: "sinks", Values: xs},
+			sio.Series{Name: "build_ms", Values: build0},
+			sio.Series{Name: "optimize_ms", Values: opt0},
+		); err != nil {
+			return err
+		}
+	}
+	return tb.Render(o.Out)
+}
+
+// workhorse benchmark for the figure experiments.
+func figureSpec(o Options) workload.Spec {
+	spec, _ := workload.ByName("cns03")
+	if o.Quick {
+		spec.Sinks = 500
+	}
+	return spec
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick exercises every registered experiment in quick
+// mode: each must run cleanly and produce a non-trivial table.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, r := range Registry() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := r.Run(Options{Out: &buf, Quick: true}); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if len(strings.Split(out, "\n")) < 4 {
+				t.Errorf("%s produced a trivial table:\n%s", r.ID, out)
+			}
+		})
+	}
+}
+
+func TestCSVDumps(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := F1SlewSweep(Options{Out: &buf, Quick: true, DataDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("t2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("zz"); err == nil {
+		t.Error("unknown id must fail")
+	}
+}
+
+func TestAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short")
+	}
+	var buf bytes.Buffer
+	if err := All(Options{Out: &buf, Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"T1:", "T2:", "T3:", "F1:", "F2:", "F3:", "F4:", "A1:", "A2:", "A3:"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %s", want)
+		}
+	}
+}

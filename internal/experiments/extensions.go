@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smartndr/internal/cell"
+	"smartndr/internal/core"
+	"smartndr/internal/ctree"
+	"smartndr/internal/cts"
+	"smartndr/internal/geom"
+	"smartndr/internal/report"
+	"smartndr/internal/sta"
+	"smartndr/internal/tech"
+	"smartndr/internal/workload"
+)
+
+// T4MultiCorner runs three-corner signoff per scheme: each scheme's tree
+// is analyzed at typical, slow, and fast silicon. Expected shape: within-
+// corner skews track the nominal ordering; the cross-corner spread is an
+// order of magnitude larger than any single-corner skew (why signoff uses
+// common-path-pessimism removal), identical in shape across schemes.
+func T4MultiCorner(o Options) error {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	spec, err := workload.ByName("cns02")
+	if err != nil {
+		return err
+	}
+	if o.Quick {
+		spec.Sinks /= 4
+	}
+	_, tree, err := build(spec, te, lib)
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("T4: three-corner signoff ("+spec.Name+")",
+		"scheme", "corner", "skew (ps)", "worst slew (ps)", "viol", "ins delay (ps)", "x-corner (ps)")
+	for _, sc := range []string{"all-default", "blanket", "smart"} {
+		t := tree.Clone()
+		switch sc {
+		case "all-default":
+			core.AssignAll(t, te.DefaultRule)
+		case "blanket":
+			core.AssignAll(t, te.BlanketRule)
+		case "smart":
+			core.AssignAll(t, te.BlanketRule)
+			if _, err := core.Optimize(t, te, lib, core.Config{}); err != nil {
+				return err
+			}
+		}
+		rep, err := core.EvaluateCorners(t, te, lib, 40e-12, tech.StandardCorners())
+		if err != nil {
+			return err
+		}
+		for i, cm := range rep.Corners {
+			cross := ""
+			if i == 0 {
+				cross = report.Ps(rep.CrossCornerSkew)
+			}
+			tb.AddRow(sc, cm.Corner.Name, report.Ps(cm.Skew), report.Ps(cm.WorstSlew),
+				fmt.Sprintf("%d", cm.SlewViol), report.Ps(cm.MaxInsDel), cross)
+		}
+	}
+	return tb.Render(o.Out)
+}
+
+// T5ElectromigrationAudit reports EM width-floor violations per scheme and
+// the cost of enforcing the floor on the smart result. Expected shape:
+// all-default violates on every heavy in-stage edge; blanket is clean;
+// smart needs only a sliver of enforcement cap because the heavy edges
+// are exactly the ones it already kept wide for slew.
+func T5ElectromigrationAudit(o Options) error {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	spec := figureSpec(o)
+	_, tree, err := build(spec, te, lib)
+	if err != nil {
+		return err
+	}
+	l := core.DefaultEMLimit()
+	tb := report.NewTable(
+		fmt.Sprintf("T5: electromigration audit (%s, %.1f mA/µm RMS)", spec.Name, l.JRms*1e3),
+		"scheme", "EM violations", "worst need (×W)", "enforce upgrades", "power before (mW)", "power after (mW)")
+	for _, sc := range []string{"all-default", "blanket", "smart", "smart+EM"} {
+		t := tree.Clone()
+		switch sc {
+		case "all-default":
+			core.AssignAll(t, te.DefaultRule)
+		case "blanket":
+			core.AssignAll(t, te.BlanketRule)
+		case "smart":
+			core.AssignAll(t, te.BlanketRule)
+			if _, err := core.Optimize(t, te, lib, core.Config{}); err != nil {
+				return err
+			}
+		case "smart+EM":
+			// EM floors respected *inside* the optimizer: edges that carry
+			// real current never leave their width class, so the audit is
+			// clean by construction and no post-hoc upgrade churn occurs.
+			core.AssignAll(t, te.BlanketRule)
+			lim := l
+			if _, err := core.Optimize(t, te, lib, core.Config{EM: &lim}); err != nil {
+				return err
+			}
+		}
+		viols, err := core.AuditEM(t, te, lib, 40e-12, l)
+		if err != nil {
+			return err
+		}
+		worstNeed := 0.0
+		for _, v := range viols {
+			if v.Required > worstNeed {
+				worstNeed = v.Required
+			}
+		}
+		before, _, err := core.Evaluate(t, te, lib, 40e-12)
+		if err != nil {
+			return err
+		}
+		up, err := core.EnforceEM(t, te, lib, 40e-12, l)
+		if err != nil {
+			return err
+		}
+		after, _, err := core.Evaluate(t, te, lib, 40e-12)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(sc, fmt.Sprintf("%d", len(viols)), fmt.Sprintf("%.2f", worstNeed),
+			fmt.Sprintf("%d", up), report.MW(before.Power.Total()), report.MW(after.Power.Total()))
+	}
+	return tb.Render(o.Out)
+}
+
+// A4OptimalityGap compares the greedy optimizer against exhaustive optimal
+// assignment on small instances. Expected shape: gap within a few percent
+// (the capacitance objective is separable; the couplings greedy ignores
+// are second-order at this scale).
+func A4OptimalityGap(o Options) error {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tb := report.NewTable("A4: greedy vs exhaustive optimal (4-sink instances)",
+		"seed", "edges", "evaluated", "optimal cap (fF)", "greedy cap (fF)", "gap")
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	if o.Quick {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		rng := rand.New(rand.NewSource(seed))
+		sinks := make([]ctree.Sink, 4)
+		for i := range sinks {
+			sinks[i] = ctree.Sink{
+				Loc: geom.Point{X: rng.Float64() * 300, Y: rng.Float64() * 300},
+				Cap: (1 + rng.Float64()) * 1e-15,
+			}
+		}
+		res, err := cts.Build(sinks, geom.Point{X: 150, Y: 150}, te, lib, cts.Options{})
+		if err != nil {
+			return err
+		}
+		tree := res.Tree
+		tree.SetAllRules(te.BlanketRule)
+		opt, err := core.ExhaustiveOptimal(tree, te, lib, 40e-12, te.MaxSlew, te.MaxSkew)
+		if err != nil {
+			return err
+		}
+		if !opt.Feasible {
+			tb.AddRow(fmt.Sprintf("%d", seed), "-", "-", "infeasible", "-", "-")
+			continue
+		}
+		greedy := tree.Clone()
+		if _, err := core.Optimize(greedy, te, lib, core.Config{DisableRepair: true}); err != nil {
+			return err
+		}
+		an, err := sta.Analyze(greedy, te, lib, 40e-12)
+		if err != nil {
+			return err
+		}
+		edges := len(tree.Nodes) - 1
+		gap := an.TotalSwitchedCap()/opt.BestCap - 1
+		tb.AddRow(fmt.Sprintf("%d", seed), fmt.Sprintf("%d", edges),
+			fmt.Sprintf("%d", opt.Evaluated),
+			fmt.Sprintf("%.2f", opt.BestCap*1e15),
+			fmt.Sprintf("%.2f", an.TotalSwitchedCap()*1e15),
+			report.Pct(gap))
+	}
+	return tb.Render(o.Out)
+}

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+
+	"smartndr/internal/cell"
+	"smartndr/internal/core"
+	"smartndr/internal/report"
+	"smartndr/internal/sio"
+	"smartndr/internal/tech"
+	"smartndr/internal/variation"
+)
+
+// F1SlewSweep sweeps the slew constraint and reports smart-NDR power
+// against the all-default and blanket anchors. The expected shape: under a
+// tight constraint smart approaches blanket (everything needs the NDR);
+// under a loose one it approaches all-default.
+func F1SlewSweep(o Options) error {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	spec := figureSpec(o)
+	_, tree, err := build(spec, te, lib)
+	if err != nil {
+		return err
+	}
+	anchors := map[string]float64{}
+	for name, ri := range map[string]int{"all-default": te.DefaultRule, "blanket": te.BlanketRule} {
+		t := tree.Clone()
+		core.AssignAll(t, ri)
+		m, _, err := core.Evaluate(t, te, lib, 40e-12)
+		if err != nil {
+			return err
+		}
+		anchors[name] = m.Power.Total()
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("F1: smart-NDR power vs slew constraint (%s; blanket %.3f mW, all-default %.3f mW)",
+			spec.Name, anchors["blanket"]*1e3, anchors["all-default"]*1e3),
+		"slew limit (ps)", "power (mW)", "vs blanket", "NDR len", "downgrades", "viol")
+	limits := []float64{70e-12, 80e-12, 90e-12, 100e-12, 120e-12, 150e-12, 180e-12}
+	if o.Quick {
+		limits = []float64{80e-12, 100e-12, 150e-12}
+	}
+	var xs, ys []float64
+	for _, lim := range limits {
+		t := tree.Clone()
+		core.AssignAll(t, te.BlanketRule)
+		stats, err := core.Optimize(t, te, lib, core.Config{MaxSlew: lim})
+		if err != nil {
+			return err
+		}
+		m, _, err := core.Evaluate(t, te, lib, 40e-12)
+		if err != nil {
+			return err
+		}
+		// Violations are judged against the swept limit here.
+		viol := 0
+		if m.WorstSlew > lim {
+			viol = m.SlewViol
+		}
+		tb.AddRow(report.Ps(lim), report.MW(m.Power.Total()),
+			report.Pct(m.Power.Total()/anchors["blanket"]-1),
+			report.Pct(m.NDRFraction),
+			fmt.Sprintf("%d", stats.Downgrades),
+			fmt.Sprintf("%d", viol))
+		xs = append(xs, lim*1e12)
+		ys = append(ys, m.Power.Total())
+	}
+	if o.DataDir != "" {
+		if err := sio.WriteCSVFile(o.DataDir+"/f1_slew_sweep.csv",
+			sio.Series{Name: "slew_limit_ps", Values: xs},
+			sio.Series{Name: "smart_power_w", Values: ys},
+		); err != nil {
+			return err
+		}
+	}
+	return tb.Render(o.Out)
+}
+
+// F2DepthProfile reports, per buffer-stage level, how much wire the smart
+// assignment keeps on each rule class. The expected shape: NDR
+// concentrates near the root (long, slew-critical repeated lines); leaf
+// levels run on cheap rules.
+func F2DepthProfile(o Options) error {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	spec := figureSpec(o)
+	_, tree, err := build(spec, te, lib)
+	if err != nil {
+		return err
+	}
+	core.AssignAll(tree, te.BlanketRule)
+	if _, err := core.Optimize(tree, te, lib, core.Config{}); err != nil {
+		return err
+	}
+	levels := core.StageLevels(tree)
+	maxLv := 0
+	for _, lv := range levels {
+		if lv > maxLv {
+			maxLv = lv
+		}
+	}
+	// wire length per (level, rule)
+	lenByLvRule := make([][]float64, maxLv+1)
+	for i := range lenByLvRule {
+		lenByLvRule[i] = make([]float64, te.NumRules())
+	}
+	for i := range tree.Nodes {
+		n := &tree.Nodes[i]
+		if n.Parent < 0 {
+			continue
+		}
+		lenByLvRule[levels[i]][n.Rule] += n.EdgeLen
+	}
+	headers := []string{"level", "total (mm)"}
+	for i := 0; i < te.NumRules(); i++ {
+		headers = append(headers, te.Rule(i).Name)
+	}
+	headers = append(headers, "heavy-NDR share")
+	tb := report.NewTable(
+		fmt.Sprintf("F2: wirelength by stage level and rule after smart assignment (%s)", spec.Name),
+		headers...)
+	var xs, shares []float64
+	for lv := 0; lv <= maxLv; lv++ {
+		var total, heavy float64
+		for ri, l := range lenByLvRule[lv] {
+			total += l
+			rule := te.Rule(ri)
+			if rule.WMult >= 2 { // wide classes: 2W1S, 2W2S, 3W3S
+				heavy += l
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		row := []string{fmt.Sprintf("%d", lv), fmt.Sprintf("%.2f", total/1000)}
+		for _, l := range lenByLvRule[lv] {
+			row = append(row, report.Pct(l/total))
+		}
+		row = append(row, report.Pct(heavy/total))
+		tb.AddRow(row...)
+		xs = append(xs, float64(lv))
+		shares = append(shares, heavy/total)
+	}
+	if o.DataDir != "" {
+		if err := sio.WriteCSVFile(o.DataDir+"/f2_depth_profile.csv",
+			sio.Series{Name: "level", Values: xs},
+			sio.Series{Name: "heavy_ndr_share", Values: shares},
+		); err != nil {
+			return err
+		}
+	}
+	return tb.Render(o.Out)
+}
+
+// F3Variation compares skew distributions under process variation across
+// the schemes. Expected shape: σ(all-default) ≫ σ(smart) ≈ σ(blanket) —
+// smart sheds capacitance without giving up the NDR's robustness where it
+// matters.
+func F3Variation(o Options) error {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	spec := figureSpec(o)
+	_, tree, err := build(spec, te, lib)
+	if err != nil {
+		return err
+	}
+	p := variation.Defaults(99)
+	if o.Quick {
+		p.Samples = 60
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("F3: skew under process variation (%s, %d samples, CD σ %.0f nm)",
+			spec.Name, p.Samples, p.WidthSigma*1e3),
+		"scheme", "nominal (ps)", "mean (ps)", "σ (ps)", "P95 (ps)", "max (ps)", "yield@bound")
+	var sigmas []float64
+	for _, sc := range []string{"all-default", "trunk", "smart", "blanket"} {
+		t := tree.Clone()
+		switch sc {
+		case "all-default":
+			core.AssignAll(t, te.DefaultRule)
+		case "blanket":
+			core.AssignAll(t, te.BlanketRule)
+		case "trunk":
+			core.AssignTrunk(t, te)
+		case "smart":
+			core.AssignAll(t, te.BlanketRule)
+			if _, err := core.Optimize(t, te, lib, core.Config{}); err != nil {
+				return err
+			}
+		}
+		m, _, err := core.Evaluate(t, te, lib, 40e-12)
+		if err != nil {
+			return err
+		}
+		st, err := variation.MonteCarlo(t, te, lib, p)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(sc, report.Ps(m.Skew), report.Ps(st.MeanSkew), report.Ps(st.StdSkew),
+			report.Ps(st.P95Skew), report.Ps(st.MaxSkew),
+			fmt.Sprintf("%.1f%%", st.YieldAt(2*te.MaxSkew)*100))
+		sigmas = append(sigmas, st.StdSkew)
+	}
+	if o.DataDir != "" {
+		if err := sio.WriteCSVFile(o.DataDir+"/f3_variation.csv",
+			sio.Series{Name: "scheme_idx", Values: []float64{0, 1, 2, 3}},
+			sio.Series{Name: "skew_sigma_s", Values: sigmas},
+		); err != nil {
+			return err
+		}
+	}
+	return tb.Render(o.Out)
+}
+
+// F4TopKSweep traces the power/robustness tradeoff of the TopK heuristic
+// across K and places the smart point against it. Expected shape: smart
+// sits below the TopK curve (less power at comparable robustness).
+func F4TopKSweep(o Options) error {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	spec := figureSpec(o)
+	_, tree, err := build(spec, te, lib)
+	if err != nil {
+		return err
+	}
+	maxLv := core.MaxStageLevel(tree) + 1
+	tb := report.NewTable(
+		fmt.Sprintf("F4: TopK sweep vs smart point (%s)", spec.Name),
+		"assignment", "power (mW)", "NDR len", "worst slew (ps)", "viol", "skew (ps)")
+	mc := variation.Defaults(123)
+	mc.Samples = 40
+	if o.Quick {
+		mc.Samples = 20
+	}
+	var ks, powers []float64
+	for k := 0; k <= maxLv; k++ {
+		t := tree.Clone()
+		core.AssignTopLevels(t, te, k)
+		m, _, err := core.Evaluate(t, te, lib, 40e-12)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(fmt.Sprintf("top-%d", k), report.MW(m.Power.Total()),
+			report.Pct(m.NDRFraction), report.Ps(m.WorstSlew),
+			fmt.Sprintf("%d", m.SlewViol), report.Ps(m.Skew))
+		ks = append(ks, float64(k))
+		powers = append(powers, m.Power.Total())
+	}
+	t := tree.Clone()
+	core.AssignAll(t, te.BlanketRule)
+	if _, err := core.Optimize(t, te, lib, core.Config{}); err != nil {
+		return err
+	}
+	m, _, err := core.Evaluate(t, te, lib, 40e-12)
+	if err != nil {
+		return err
+	}
+	tb.AddRow("smart", report.MW(m.Power.Total()), report.Pct(m.NDRFraction),
+		report.Ps(m.WorstSlew), fmt.Sprintf("%d", m.SlewViol), report.Ps(m.Skew))
+	if o.DataDir != "" {
+		if err := sio.WriteCSVFile(o.DataDir+"/f4_topk.csv",
+			sio.Series{Name: "k", Values: ks},
+			sio.Series{Name: "power_w", Values: powers},
+		); err != nil {
+			return err
+		}
+	}
+	return tb.Render(o.Out)
+}

@@ -1,0 +1,311 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want float64
+	}{
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{0, 0}, Point{3, 4}, 7},
+		{Point{-1, -1}, Point{1, 1}, 4},
+		{Point{2.5, 0}, Point{0, 2.5}, 5},
+	}
+	for _, c := range cases {
+		if got := c.a.Dist(c.b); got != c.want {
+			t.Errorf("Dist(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Dist(c.a); got != c.want {
+			t.Errorf("Dist symmetry broken: Dist(%v, %v) = %v, want %v", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestPointDistEuclid(t *testing.T) {
+	if got := (Point{0, 0}).DistEuclid(Point{3, 4}); got != 5 {
+		t.Errorf("DistEuclid = %v, want 5", got)
+	}
+}
+
+func TestPointArith(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -4}
+	if got := p.Add(q); got != (Point{4, -2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := Midpoint(p, q); got != (Point{2, -1}) {
+		t.Errorf("Midpoint = %v", got)
+	}
+}
+
+func TestManhattanTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a := Point{clampCoord(ax), clampCoord(ay)}
+		b := Point{clampCoord(bx), clampCoord(by)}
+		c := Point{clampCoord(cx), clampCoord(cy)}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// clampCoord maps arbitrary float64 test inputs (possibly NaN/Inf/huge) into
+// a sane chip-coordinate range so float rounding doesn't dominate.
+func clampCoord(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}
+
+func TestUVRoundTrip(t *testing.T) {
+	f := func(x, y float64) bool {
+		p := Point{clampCoord(x), clampCoord(y)}
+		q := ToXY(ToUV(p))
+		return ApproxEq(p.X, q.X, 1e-6) && ApproxEq(p.Y, q.Y, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUVDistEqualsManhattan(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a := Point{clampCoord(ax), clampCoord(ay)}
+		b := Point{clampCoord(bx), clampCoord(by)}
+		return ApproxEq(ToUV(a).DistInf(ToUV(b)), a.Dist(b), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBBoxBasics(t *testing.T) {
+	bb := NewEmptyBBox()
+	if !bb.Empty() {
+		t.Fatal("fresh box should be empty")
+	}
+	if bb.Width() != 0 || bb.Height() != 0 {
+		t.Error("empty box should report zero extents")
+	}
+	bb.Extend(Point{1, 2})
+	if bb.Empty() {
+		t.Fatal("box with one point should not be empty")
+	}
+	bb.Extend(Point{-3, 5})
+	if bb.MinX != -3 || bb.MaxX != 1 || bb.MinY != 2 || bb.MaxY != 5 {
+		t.Errorf("unexpected box %+v", bb)
+	}
+	if got := bb.Width(); got != 4 {
+		t.Errorf("Width = %v", got)
+	}
+	if got := bb.Height(); got != 3 {
+		t.Errorf("Height = %v", got)
+	}
+	if got := bb.HalfPerimeter(); got != 7 {
+		t.Errorf("HalfPerimeter = %v", got)
+	}
+	if got := bb.Center(); got != (Point{-1, 3.5}) {
+		t.Errorf("Center = %v", got)
+	}
+	if !bb.Contains(Point{0, 3}) {
+		t.Error("Contains should include interior point")
+	}
+	if bb.Contains(Point{2, 3}) {
+		t.Error("Contains should exclude exterior point")
+	}
+}
+
+func TestBBoxUnion(t *testing.T) {
+	a := NewBBox(Point{0, 0}, Point{1, 1})
+	b := NewBBox(Point{2, -1}, Point{3, 0.5})
+	a.Union(b)
+	if a.MinX != 0 || a.MinY != -1 || a.MaxX != 3 || a.MaxY != 1 {
+		t.Errorf("Union = %+v", a)
+	}
+	empty := NewEmptyBBox()
+	before := a
+	a.Union(empty)
+	if a != before {
+		t.Error("union with empty box must be a no-op")
+	}
+}
+
+func TestBBoxExtendContainsProperty(t *testing.T) {
+	f := func(xs [6]float64) bool {
+		bb := NewEmptyBBox()
+		var pts []Point
+		for i := 0; i+1 < len(xs); i += 2 {
+			p := Point{clampCoord(xs[i]), clampCoord(xs[i+1])}
+			pts = append(pts, p)
+			bb.Extend(p)
+		}
+		for _, p := range pts {
+			if !bb.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestGridIndexNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Float64() * 1000, rng.Float64() * 1000}
+		}
+		g := NewGridIndex(pts)
+		for q := 0; q < 20; q++ {
+			probe := Point{rng.Float64() * 1000, rng.Float64() * 1000}
+			exclude := -1
+			if rng.Intn(2) == 0 {
+				exclude = rng.Intn(n)
+			}
+			got, ok := g.Nearest(probe, exclude)
+			wantID, wantD := bruteNearest(pts, nil, probe, exclude)
+			if wantID < 0 {
+				if ok {
+					t.Fatalf("expected no result, got %d", got)
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("no result, want %d", wantID)
+			}
+			if !ApproxEq(probe.Dist(pts[got]), wantD, 1e-9) {
+				t.Fatalf("nearest distance %v, want %v", probe.Dist(pts[got]), wantD)
+			}
+		}
+	}
+}
+
+func TestGridIndexRemove(t *testing.T) {
+	pts := []Point{{0, 0}, {10, 0}, {20, 0}}
+	g := NewGridIndex(pts)
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	id, ok := g.Nearest(Point{1, 0}, -1)
+	if !ok || id != 0 {
+		t.Fatalf("nearest = %d, %v", id, ok)
+	}
+	g.Remove(0)
+	if g.Len() != 2 {
+		t.Fatalf("Len after remove = %d", g.Len())
+	}
+	id, ok = g.Nearest(Point{1, 0}, -1)
+	if !ok || id != 1 {
+		t.Fatalf("nearest after remove = %d, %v", id, ok)
+	}
+	g.Remove(0) // double remove is a no-op
+	if g.Len() != 2 {
+		t.Fatalf("Len after double remove = %d", g.Len())
+	}
+	g.Remove(1)
+	g.Remove(2)
+	if _, ok := g.Nearest(Point{0, 0}, -1); ok {
+		t.Error("nearest on empty index should fail")
+	}
+}
+
+func TestGridIndexSinglePointExcluded(t *testing.T) {
+	g := NewGridIndex([]Point{{5, 5}})
+	if _, ok := g.Nearest(Point{0, 0}, 0); ok {
+		t.Error("excluding the only point should yield no result")
+	}
+	id, ok := g.Nearest(Point{0, 0}, -1)
+	if !ok || id != 0 {
+		t.Errorf("nearest = %d, %v", id, ok)
+	}
+}
+
+func TestGridIndexClustered(t *testing.T) {
+	// Heavily clustered points stress the ring-expansion search.
+	rng := rand.New(rand.NewSource(42))
+	pts := make([]Point, 500)
+	for i := range pts {
+		cx := float64(rng.Intn(3)) * 400
+		cy := float64(rng.Intn(3)) * 400
+		pts[i] = Point{cx + rng.Float64()*10, cy + rng.Float64()*10}
+	}
+	g := NewGridIndex(pts)
+	for q := 0; q < 50; q++ {
+		probe := pts[rng.Intn(len(pts))]
+		got, ok := g.Nearest(probe, -1)
+		if !ok {
+			t.Fatal("no result")
+		}
+		_, wantD := bruteNearest(pts, nil, probe, -1)
+		if !ApproxEq(probe.Dist(pts[got]), wantD, 1e-9) {
+			t.Fatalf("nearest distance %v, want %v", probe.Dist(pts[got]), wantD)
+		}
+	}
+}
+
+func bruteNearest(pts []Point, alive []bool, probe Point, exclude int) (int, float64) {
+	best := -1
+	bestD := math.Inf(1)
+	for i, p := range pts {
+		if i == exclude || (alive != nil && !alive[i]) {
+			continue
+		}
+		if d := probe.Dist(p); d < bestD {
+			bestD = d
+			best = i
+		}
+	}
+	return best, bestD
+}
+
+func TestGridIndexDegenerateGeometry(t *testing.T) {
+	// Collinear, coincident, and two-point sets must not blow up the grid
+	// (regression: zero bounding-box area once produced ~1e8 cells).
+	cases := [][]Point{
+		{{0, 0}, {3000, 0}},                    // horizontal pair
+		{{0, 0}, {0, 2500}},                    // vertical pair
+		{{0, 0}, {100, 0}, {200, 0}, {300, 0}}, // collinear
+		{{5, 5}, {5, 5}, {5, 5}},               // coincident
+		{{1500, 2500}, {0, 0}, {3000, 0}},      // triangle
+	}
+	for ci, pts := range cases {
+		g := NewGridIndex(pts)
+		for qi, p := range pts {
+			got, ok := g.Nearest(p, qi)
+			wantID, wantD := bruteNearest(pts, nil, p, qi)
+			if wantID < 0 {
+				if ok {
+					t.Fatalf("case %d: expected no result", ci)
+				}
+				continue
+			}
+			if !ok || !ApproxEq(p.Dist(pts[got]), wantD, 1e-9) {
+				t.Fatalf("case %d probe %d: got %v/%v want dist %v", ci, qi, got, ok, wantD)
+			}
+		}
+	}
+}

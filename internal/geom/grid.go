@@ -1,0 +1,167 @@
+package geom
+
+import "math"
+
+// GridIndex is a uniform spatial hash over chip space supporting approximate
+// nearest-neighbor queries under the Manhattan metric. It is used by
+// nearest-neighbor topology generation, where thousands of repeated NN
+// queries over a shrinking point set would otherwise cost O(n²).
+//
+// Items are identified by small-integer IDs supplied at insertion; removed
+// items are tombstoned and skipped during queries.
+type GridIndex struct {
+	cell    float64
+	originX float64
+	originY float64
+	cols    int
+	rows    int
+	cells   [][]int32
+	pts     []Point
+	alive   []bool
+	nAlive  int
+}
+
+// NewGridIndex builds an index over the given points. The cell size is
+// chosen so the average occupancy is a small constant. The point slice is
+// captured by reference for ID→point lookups; IDs are slice indices.
+func NewGridIndex(pts []Point) *GridIndex {
+	bb := NewEmptyBBox()
+	for _, p := range pts {
+		bb.Extend(p)
+	}
+	if bb.Empty() {
+		bb = BBox{0, 0, 1, 1}
+	}
+	n := len(pts)
+	if n == 0 {
+		n = 1
+	}
+	// Target ~2 points per cell. Degenerate (collinear or coincident)
+	// point sets have zero bounding-box area, which would yield a
+	// microscopic cell size and an enormous grid — the lower bound keeps
+	// the total cell count at O(n).
+	area := bb.Width() * bb.Height()
+	cell := math.Sqrt(area * 2 / float64(n))
+	minCell := math.Max(bb.Width(), bb.Height()) / (4*math.Sqrt(float64(n)) + 1)
+	if cell < minCell {
+		cell = minCell
+	}
+	if cell <= 0 || math.IsNaN(cell) {
+		cell = 1
+	}
+	cols := int(bb.Width()/cell) + 1
+	rows := int(bb.Height()/cell) + 1
+	g := &GridIndex{
+		cell:    cell,
+		originX: bb.MinX,
+		originY: bb.MinY,
+		cols:    cols,
+		rows:    rows,
+		cells:   make([][]int32, cols*rows),
+		pts:     pts,
+		alive:   make([]bool, len(pts)),
+	}
+	for i, p := range pts {
+		g.alive[i] = true
+		g.nAlive++
+		ci := g.cellIndex(p)
+		g.cells[ci] = append(g.cells[ci], int32(i))
+	}
+	return g
+}
+
+func (g *GridIndex) cellCoords(p Point) (int, int) {
+	cx := int((p.X - g.originX) / g.cell)
+	cy := int((p.Y - g.originY) / g.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cx, cy
+}
+
+func (g *GridIndex) cellIndex(p Point) int {
+	cx, cy := g.cellCoords(p)
+	return cy*g.cols + cx
+}
+
+// Remove tombstones the item with the given ID. Removing an absent or
+// already-removed ID is a no-op.
+func (g *GridIndex) Remove(id int) {
+	if id >= 0 && id < len(g.alive) && g.alive[id] {
+		g.alive[id] = false
+		g.nAlive--
+	}
+}
+
+// Len returns the number of live items.
+func (g *GridIndex) Len() int { return g.nAlive }
+
+// Nearest returns the live item nearest to p in Manhattan distance,
+// excluding the item with ID `exclude` (pass -1 to exclude none). The second
+// result is false when no live item qualifies.
+func (g *GridIndex) Nearest(p Point, exclude int) (int, bool) {
+	if g.nAlive == 0 || (g.nAlive == 1 && exclude >= 0 && exclude < len(g.alive) && g.alive[exclude]) {
+		return -1, false
+	}
+	cx, cy := g.cellCoords(p)
+	best := -1
+	bestD := math.Inf(1)
+	// Expand rings of cells until the best candidate cannot be beaten by
+	// anything outside the searched ring.
+	maxRing := g.cols + g.rows
+	for ring := 0; ring <= maxRing; ring++ {
+		// A point in a cell at ring r is at least (r-1)*cell away in the
+		// worst case; once bestD is below that bound we can stop.
+		if best >= 0 && bestD <= float64(ring-1)*g.cell {
+			break
+		}
+		g.scanRing(cx, cy, ring, func(id int32) {
+			i := int(id)
+			if !g.alive[i] || i == exclude {
+				return
+			}
+			d := p.Dist(g.pts[i])
+			if d < bestD {
+				bestD = d
+				best = i
+			}
+		})
+	}
+	if best < 0 {
+		return -1, false
+	}
+	return best, true
+}
+
+func (g *GridIndex) scanRing(cx, cy, ring int, visit func(int32)) {
+	if ring == 0 {
+		g.scanCell(cx, cy, visit)
+		return
+	}
+	for dx := -ring; dx <= ring; dx++ {
+		g.scanCell(cx+dx, cy-ring, visit)
+		g.scanCell(cx+dx, cy+ring, visit)
+	}
+	for dy := -ring + 1; dy <= ring-1; dy++ {
+		g.scanCell(cx-ring, cy+dy, visit)
+		g.scanCell(cx+ring, cy+dy, visit)
+	}
+}
+
+func (g *GridIndex) scanCell(cx, cy int, visit func(int32)) {
+	if cx < 0 || cx >= g.cols || cy < 0 || cy >= g.rows {
+		return
+	}
+	for _, id := range g.cells[cy*g.cols+cx] {
+		visit(id)
+	}
+}

@@ -1,0 +1,142 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// TRR is a tilted rectangular region: the Minkowski sum of a core Manhattan
+// arc with a Manhattan disk of a given radius. Represented in rotated UV
+// space it is an axis-aligned rectangle, which makes inflation and
+// intersection trivial. Merging segments in DME are degenerate TRRs (zero
+// extent in at least one axis).
+//
+// A TRR with MinU == MaxU and MinV == MaxV is a single point. A TRR with
+// exactly one degenerate axis is a Manhattan arc (a ±1-slope segment in chip
+// space). The zero value is the point at the chip-space origin.
+type TRR struct {
+	MinU, MaxU float64
+	MinV, MaxV float64
+}
+
+// PointTRR returns the degenerate TRR holding exactly the chip-space point p.
+func PointTRR(p Point) TRR {
+	q := ToUV(p)
+	return TRR{MinU: q.U, MaxU: q.U, MinV: q.V, MaxV: q.V}
+}
+
+// SegmentTRR returns the TRR covering the Manhattan arc between chip-space
+// points a and b. The two points must lie on a common ±1-slope line (or be
+// equal); otherwise SegmentTRR returns the bounding TRR of the two points,
+// which is the standard DME relaxation for near-degenerate arcs.
+func SegmentTRR(a, b Point) TRR {
+	qa, qb := ToUV(a), ToUV(b)
+	return TRR{
+		MinU: math.Min(qa.U, qb.U), MaxU: math.Max(qa.U, qb.U),
+		MinV: math.Min(qa.V, qb.V), MaxV: math.Max(qa.V, qb.V),
+	}
+}
+
+// Valid reports whether the region is non-empty.
+func (t TRR) Valid() bool { return t.MinU <= t.MaxU && t.MinV <= t.MaxV }
+
+// IsPoint reports whether the region is a single point (within eps).
+func (t TRR) IsPoint(eps float64) bool {
+	return t.MaxU-t.MinU <= eps && t.MaxV-t.MinV <= eps
+}
+
+// IsArc reports whether the region is a Manhattan arc: degenerate in at
+// least one axis (within eps). Points are arcs.
+func (t TRR) IsArc(eps float64) bool {
+	return t.MaxU-t.MinU <= eps || t.MaxV-t.MinV <= eps
+}
+
+// Inflate returns the Minkowski sum of the region with a Manhattan disk of
+// radius r (r ≥ 0): each UV axis grows by r on both sides.
+func (t TRR) Inflate(r float64) TRR {
+	return TRR{MinU: t.MinU - r, MaxU: t.MaxU + r, MinV: t.MinV - r, MaxV: t.MaxV + r}
+}
+
+// Intersect returns the intersection of two regions and whether it is
+// non-empty.
+func (t TRR) Intersect(o TRR) (TRR, bool) {
+	r := TRR{
+		MinU: math.Max(t.MinU, o.MinU), MaxU: math.Min(t.MaxU, o.MaxU),
+		MinV: math.Max(t.MinV, o.MinV), MaxV: math.Min(t.MaxV, o.MaxV),
+	}
+	return r, r.Valid()
+}
+
+// Dist returns the Manhattan distance between the two regions: the smallest
+// Manhattan distance between any point of t and any point of o. In UV space
+// this is the larger of the per-axis gaps.
+func (t TRR) Dist(o TRR) float64 {
+	gapU := axisGap(t.MinU, t.MaxU, o.MinU, o.MaxU)
+	gapV := axisGap(t.MinV, t.MaxV, o.MinV, o.MaxV)
+	return math.Max(gapU, gapV)
+}
+
+func axisGap(aLo, aHi, bLo, bHi float64) float64 {
+	switch {
+	case aLo > bHi:
+		return aLo - bHi
+	case bLo > aHi:
+		return bLo - aHi
+	default:
+		return 0
+	}
+}
+
+// DistToPoint returns the Manhattan distance from the region to chip point p.
+func (t TRR) DistToPoint(p Point) float64 {
+	return t.Dist(PointTRR(p))
+}
+
+// ClosestPointTo returns the chip-space point of the region nearest (in
+// Manhattan distance) to chip point p. Componentwise clamping in UV space
+// yields an L∞-nearest point, which corresponds to a Manhattan-nearest chip
+// point.
+func (t TRR) ClosestPointTo(p Point) Point {
+	q := ToUV(p)
+	return ToXY(UV{
+		U: Clamp(q.U, t.MinU, t.MaxU),
+		V: Clamp(q.V, t.MinV, t.MaxV),
+	})
+}
+
+// Center returns the chip-space center of the region.
+func (t TRR) Center() Point {
+	return ToXY(UV{U: (t.MinU + t.MaxU) / 2, V: (t.MinV + t.MaxV) / 2})
+}
+
+// Corners returns the four chip-space corners of the region (duplicated for
+// degenerate regions).
+func (t TRR) Corners() [4]Point {
+	return [4]Point{
+		ToXY(UV{t.MinU, t.MinV}),
+		ToXY(UV{t.MinU, t.MaxV}),
+		ToXY(UV{t.MaxU, t.MinV}),
+		ToXY(UV{t.MaxU, t.MaxV}),
+	}
+}
+
+// Contains reports whether chip point p lies in the region (within eps).
+func (t TRR) Contains(p Point, eps float64) bool {
+	q := ToUV(p)
+	return q.U >= t.MinU-eps && q.U <= t.MaxU+eps &&
+		q.V >= t.MinV-eps && q.V <= t.MaxV+eps
+}
+
+// String implements fmt.Stringer.
+func (t TRR) String() string {
+	return fmt.Sprintf("TRR[u:%.3f..%.3f v:%.3f..%.3f]", t.MinU, t.MaxU, t.MinV, t.MaxV)
+}
+
+// MergeRegion computes the merging region of two child regions joined with
+// edge lengths ea (to a) and eb (to b): the intersection of the two inflated
+// TRRs. For the exact zero-skew split ea+eb == Dist(a, b), the result is a
+// Manhattan arc. Returns false if the inflated regions do not meet, which
+// indicates ea+eb < Dist(a, b) (an infeasible split).
+func MergeRegion(a, b TRR, ea, eb float64) (TRR, bool) {
+	return a.Inflate(ea).Intersect(b.Inflate(eb))
+}

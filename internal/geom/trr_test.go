@@ -1,0 +1,211 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointTRR(t *testing.T) {
+	p := Point{3, 4}
+	tr := PointTRR(p)
+	if !tr.IsPoint(1e-12) {
+		t.Fatal("PointTRR should be a point")
+	}
+	if !tr.IsArc(1e-12) {
+		t.Error("a point is a (degenerate) arc")
+	}
+	if got := tr.Center(); got.Dist(p) > 1e-12 {
+		t.Errorf("Center = %v, want %v", got, p)
+	}
+	if d := tr.DistToPoint(Point{0, 0}); !ApproxEq(d, 7, 1e-12) {
+		t.Errorf("DistToPoint = %v, want 7", d)
+	}
+}
+
+func TestSegmentTRRIsArc(t *testing.T) {
+	// Points on a slope +1 line (x − y = const) form a Manhattan arc.
+	a := Point{0, 0}
+	b := Point{5, 5}
+	tr := SegmentTRR(a, b)
+	if !tr.IsArc(1e-12) {
+		t.Errorf("slope +1 segment should be an arc: %v", tr)
+	}
+	if !tr.Contains(Point{2, 2}, 1e-12) {
+		t.Error("arc should contain its interior points")
+	}
+	if tr.Contains(Point{2, 3}, 1e-12) {
+		t.Error("arc should not contain off-arc points")
+	}
+}
+
+func TestTRRInflateContains(t *testing.T) {
+	tr := PointTRR(Point{0, 0}).Inflate(10)
+	// Manhattan ball of radius 10: diamond with corners at (±10, 0), (0, ±10).
+	for _, p := range []Point{{10, 0}, {-10, 0}, {0, 10}, {0, -10}, {5, 5}, {-3, 7}} {
+		if !tr.Contains(p, 1e-12) {
+			t.Errorf("ball should contain %v", p)
+		}
+	}
+	for _, p := range []Point{{10, 1}, {6, 5}, {-11, 0}} {
+		if tr.Contains(p, 1e-12) {
+			t.Errorf("ball should not contain %v", p)
+		}
+	}
+}
+
+func TestTRRDistAxisCases(t *testing.T) {
+	a := PointTRR(Point{0, 0})
+	b := PointTRR(Point{6, 2})
+	if d := a.Dist(b); !ApproxEq(d, 8, 1e-12) {
+		t.Errorf("Dist = %v, want 8", d)
+	}
+	// Overlapping regions have distance 0.
+	c := PointTRR(Point{0, 0}).Inflate(5)
+	d := PointTRR(Point{4, 0}).Inflate(5)
+	if got := c.Dist(d); got != 0 {
+		t.Errorf("overlapping dist = %v", got)
+	}
+}
+
+func TestMergeRegionExactSplitIsArc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		a := PointTRR(Point{rng.Float64() * 100, rng.Float64() * 100})
+		b := PointTRR(Point{rng.Float64() * 100, rng.Float64() * 100})
+		d := a.Dist(b)
+		ea := d * rng.Float64()
+		eb := d - ea
+		mr, ok := MergeRegion(a, b, ea, eb)
+		if !ok {
+			// An exact split can miss by an ulp; eps slack must recover it.
+			mr, ok = MergeRegion(a, b, ea+1e-9, eb+1e-9)
+			if !ok {
+				t.Fatalf("exact split must be feasible (d=%v, ea=%v)", d, ea)
+			}
+		}
+		if !mr.IsArc(1e-6) {
+			t.Fatalf("merge region of exact split must be an arc, got %v", mr)
+		}
+		// Every point of the region is at distance exactly ea from a and
+		// eb from b.
+		p := mr.Center()
+		if !ApproxEq(a.DistToPoint(p), ea, 1e-6) || !ApproxEq(b.DistToPoint(p), eb, 1e-6) {
+			t.Fatalf("merge point distances %v/%v, want %v/%v",
+				a.DistToPoint(p), b.DistToPoint(p), ea, eb)
+		}
+	}
+}
+
+func TestMergeRegionInfeasible(t *testing.T) {
+	a := PointTRR(Point{0, 0})
+	b := PointTRR(Point{100, 0})
+	if _, ok := MergeRegion(a, b, 10, 10); ok {
+		t.Error("split shorter than distance must be infeasible")
+	}
+}
+
+func TestMergeRegionWithSlack(t *testing.T) {
+	// ea + eb > d yields a fat region that still contains the exact arc.
+	a := PointTRR(Point{0, 0})
+	b := PointTRR(Point{10, 0})
+	exact, ok := MergeRegion(a, b, 4, 6)
+	if !ok {
+		t.Fatal("exact split infeasible")
+	}
+	fat, ok := MergeRegion(a, b, 5, 7)
+	if !ok {
+		t.Fatal("slack split infeasible")
+	}
+	if fat.IsArc(1e-12) {
+		t.Error("slack region should have area")
+	}
+	if _, ok := fat.Intersect(exact); !ok {
+		t.Error("slack region must contain the exact arc")
+	}
+}
+
+func TestClosestPointToProperty(t *testing.T) {
+	f := func(cx, cy, r, px, py float64) bool {
+		c := Point{clampCoord(cx), clampCoord(cy)}
+		radius := math.Abs(clampCoord(r))
+		probe := Point{clampCoord(px), clampCoord(py)}
+		tr := PointTRR(c).Inflate(radius)
+		q := tr.ClosestPointTo(probe)
+		if !tr.Contains(q, 1e-6) {
+			return false
+		}
+		// The returned point achieves the region-to-point distance.
+		return ApproxEq(probe.Dist(q), tr.DistToPoint(probe), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosestPointInsideRegion(t *testing.T) {
+	tr := PointTRR(Point{0, 0}).Inflate(10)
+	p := Point{1, 2}
+	q := tr.ClosestPointTo(p)
+	if q.Dist(p) > 1e-12 {
+		t.Errorf("point inside region should be its own closest point, got %v", q)
+	}
+}
+
+func TestTRRCorners(t *testing.T) {
+	tr := PointTRR(Point{0, 0}).Inflate(10)
+	want := map[Point]bool{
+		{10, 0}: true, {-10, 0}: true, {0, 10}: true, {0, -10}: true,
+	}
+	for _, c := range tr.Corners() {
+		found := false
+		for w := range want {
+			if c.Dist(w) < 1e-9 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected corner %v", c)
+		}
+	}
+}
+
+func TestTRRIntersectDisjoint(t *testing.T) {
+	a := PointTRR(Point{0, 0}).Inflate(1)
+	b := PointTRR(Point{10, 10}).Inflate(1)
+	if _, ok := a.Intersect(b); ok {
+		t.Error("disjoint regions must not intersect")
+	}
+}
+
+// TestMergeRegionArcCores checks the DME induction step: merging two arc
+// (not just point) regions with an exact split again yields an arc.
+func TestMergeRegionArcCores(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		a0 := Point{rng.Float64() * 100, rng.Float64() * 100}
+		off := rng.Float64() * 20
+		// Build a slope +1 arc from a0.
+		a := SegmentTRR(a0, Point{a0.X + off, a0.Y + off})
+		b0 := Point{rng.Float64()*100 + 150, rng.Float64() * 100}
+		b := SegmentTRR(b0, Point{b0.X + off/2, b0.Y + off/2})
+		d := a.Dist(b)
+		if d == 0 {
+			continue
+		}
+		ea := d * rng.Float64()
+		mr, ok := MergeRegion(a, b, ea, d-ea)
+		if !ok {
+			// The exact split can miss by an ulp; a hair of slack must
+			// always recover it (the DME production code does the same).
+			mr, ok = MergeRegion(a, b, ea+1e-9, d-ea+1e-9)
+			if !ok {
+				t.Fatalf("exact split infeasible for arc cores even with eps slack")
+			}
+		}
+		if !mr.IsArc(1e-6) {
+			t.Fatalf("merge of arcs must be an arc, got %v", mr)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package report renders the experiment tables and series as aligned
+// monospace text, the way the paper's tables read. It is deliberately
+// dependency-free: rows are strings and floats formatted by the caller's
+// chosen precision.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders with per-column alignment.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells, long rows
+// are truncated to the header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: each value is rendered with
+// its paired format verb.
+func (t *Table) AddRowf(pairs ...any) error {
+	if len(pairs)%2 != 0 {
+		return fmt.Errorf("report: AddRowf needs format/value pairs")
+	}
+	cells := make([]string, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		f, ok := pairs[i].(string)
+		if !ok {
+			return fmt.Errorf("report: AddRowf pair %d: format is %T, want string", i/2, pairs[i])
+		}
+		cells = append(cells, fmt.Sprintf(f, pairs[i+1]))
+	}
+	t.AddRow(cells...)
+	return nil
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			// Right-align numbers-ish columns; headers follow their column.
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders to a string (for tests and embedding in docs).
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// Ps formats seconds as picoseconds with 2 decimals.
+func Ps(s float64) string { return fmt.Sprintf("%.2f", s*1e12) }
+
+// MW formats watts as milliwatts with 3 decimals.
+func MW(w float64) string { return fmt.Sprintf("%.3f", w*1e3) }
+
+// PF formats farads as picofarads with 3 decimals.
+func PF(f float64) string { return fmt.Sprintf("%.3f", f*1e12) }
+
+// Um formats microns with no decimals.
+func Um(u float64) string { return fmt.Sprintf("%.0f", u) }
+
+// Pct formats a ratio as a signed percentage with 1 decimal.
+func Pct(x float64) string { return fmt.Sprintf("%+.1f%%", x*100) }

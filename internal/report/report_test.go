@@ -1,0 +1,85 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("T1: demo", "bench", "power", "skew")
+	tb.AddRow("cns01", "1.234", "12.3")
+	tb.AddRow("cns02", "10.5", "9.1")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + sep + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "T1: demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(lines[1], "bench") || !strings.Contains(lines[1], "skew") {
+		t.Error("headers missing")
+	}
+	// Alignment: all rows same width.
+	w := len(lines[1])
+	for i := 2; i < len(lines); i++ {
+		if len(lines[i]) != w {
+			t.Errorf("row %d width %d, want %d:\n%s", i, len(lines[i]), w, out)
+		}
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("1")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("no stray blank title line")
+	}
+}
+
+func TestAddRowPads(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	tb.AddRow("x", "y", "z", "overflow")
+	out := tb.String()
+	if strings.Contains(out, "overflow") {
+		t.Error("overflow cell should be dropped")
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := NewTable("", "v", "p")
+	if err := tb.AddRowf("%.2f", 1.2345, "%d", 42); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), "1.23") || !strings.Contains(tb.String(), "42") {
+		t.Errorf("formatted row missing: %s", tb.String())
+	}
+	if err := tb.AddRowf("%.2f"); err == nil {
+		t.Error("odd pair count must fail")
+	}
+	if err := tb.AddRowf(3, 4); err == nil {
+		t.Error("non-string format must fail")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Ps(12.34e-12) != "12.34" {
+		t.Errorf("Ps = %s", Ps(12.34e-12))
+	}
+	if MW(0.0123) != "12.300" {
+		t.Errorf("MW = %s", MW(0.0123))
+	}
+	if PF(5.5e-12) != "5.500" {
+		t.Errorf("PF = %s", PF(5.5e-12))
+	}
+	if Um(123.4) != "123" {
+		t.Errorf("Um = %s", Um(123.4))
+	}
+	if Pct(-0.123) != "-12.3%" {
+		t.Errorf("Pct = %s", Pct(-0.123))
+	}
+	if Pct(0.05) != "+5.0%" {
+		t.Errorf("Pct = %s", Pct(0.05))
+	}
+}

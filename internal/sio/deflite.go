@@ -1,0 +1,175 @@
+package sio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"smartndr/internal/ctree"
+	"smartndr/internal/geom"
+	"smartndr/internal/workload"
+)
+
+// DEF-lite is a minimal line-oriented exchange format for clock sink sets,
+// for users whose sinks come from a physical-design flow rather than a
+// generator. Distances are microns, capacitances femtofarads:
+//
+//	# comment
+//	DIE 0 0 3200 2560
+//	SOURCE 1600 1280
+//	SINK ff0001 120.50 300.25 1.8
+//	SINK ff0002 1840.00 95.00 2.4
+//	END
+//
+// DIE and SOURCE must appear before the first SINK; every sink needs a
+// unique name. Parsers report the offending line on any error.
+
+// WriteDEFLite writes a benchmark in DEF-lite form.
+func WriteDEFLite(w io.Writer, bm *workload.Benchmark) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s: %d sinks (%s distribution, seed %d)\n",
+		bm.Spec.Name, len(bm.Sinks), bm.Spec.Dist, bm.Spec.Seed)
+	fmt.Fprintf(bw, "DIE 0 0 %.3f %.3f\n", bm.Spec.DieX, bm.Spec.DieY)
+	fmt.Fprintf(bw, "SOURCE %.3f %.3f\n", bm.Src.X, bm.Src.Y)
+	for _, s := range bm.Sinks {
+		fmt.Fprintf(bw, "SINK %s %.3f %.3f %.4f\n", s.Name, s.Loc.X, s.Loc.Y, s.Cap*1e15)
+	}
+	fmt.Fprintln(bw, "END")
+	return bw.Flush()
+}
+
+// WriteDEFLiteFile writes a benchmark to a path.
+func WriteDEFLiteFile(path string, bm *workload.Benchmark) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("sio: %w", err)
+	}
+	defer f.Close()
+	return WriteDEFLite(f, bm)
+}
+
+// ReadDEFLite parses a DEF-lite stream into a benchmark. The returned
+// spec records the die and a synthetic name; distribution and seed are
+// zero (the sinks are explicit).
+func ReadDEFLite(r io.Reader, name string) (*workload.Benchmark, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	bm := &workload.Benchmark{Spec: workload.Spec{Name: name, CapMin: 1e-18, CapMax: 1e-18}}
+	seen := make(map[string]bool)
+	var haveDie, haveSrc, ended bool
+	lineNo := 0
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("sio: deflite line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if ended {
+			return nil, fail("content after END")
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "DIE":
+			if len(fields) != 5 {
+				return nil, fail("DIE wants 4 coordinates")
+			}
+			v, err := parseFloats(fields[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if v[2] <= v[0] || v[3] <= v[1] {
+				return nil, fail("degenerate die %v", v)
+			}
+			bm.Spec.DieX = v[2] - v[0]
+			bm.Spec.DieY = v[3] - v[1]
+			haveDie = true
+		case "SOURCE":
+			if len(fields) != 3 {
+				return nil, fail("SOURCE wants 2 coordinates")
+			}
+			v, err := parseFloats(fields[1:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			bm.Src = geom.Point{X: v[0], Y: v[1]}
+			haveSrc = true
+		case "SINK":
+			if !haveDie || !haveSrc {
+				return nil, fail("SINK before DIE/SOURCE")
+			}
+			if len(fields) != 5 {
+				return nil, fail("SINK wants name, x, y, cap_fF")
+			}
+			if seen[fields[1]] {
+				return nil, fail("duplicate sink %q", fields[1])
+			}
+			seen[fields[1]] = true
+			v, err := parseFloats(fields[2:])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if v[2] <= 0 {
+				return nil, fail("sink %q has non-positive cap", fields[1])
+			}
+			capF := v[2] * 1e-15
+			bm.Sinks = append(bm.Sinks, ctree.Sink{
+				Name: fields[1],
+				Loc:  geom.Point{X: v[0], Y: v[1]},
+				Cap:  capF,
+			})
+			if capF < bm.Spec.CapMin || len(bm.Sinks) == 1 {
+				bm.Spec.CapMin = capF
+			}
+			if capF > bm.Spec.CapMax {
+				bm.Spec.CapMax = capF
+			}
+		case "END":
+			ended = true
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sio: deflite: %w", err)
+	}
+	if !ended {
+		return nil, fmt.Errorf("sio: deflite: missing END")
+	}
+	if len(bm.Sinks) == 0 {
+		return nil, fmt.Errorf("sio: deflite: no sinks")
+	}
+	bm.Spec.Sinks = len(bm.Sinks)
+	return bm, nil
+}
+
+// ReadDEFLiteFile parses a DEF-lite file.
+func ReadDEFLiteFile(path string) (*workload.Benchmark, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sio: %w", err)
+	}
+	defer f.Close()
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	return ReadDEFLite(f, strings.TrimSuffix(base, ".def"))
+}
+
+func parseFloats(fields []string) ([]float64, error) {
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

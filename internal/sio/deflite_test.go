@@ -1,0 +1,120 @@
+package sio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smartndr/internal/workload"
+)
+
+func TestDEFLiteRoundTrip(t *testing.T) {
+	bm, err := workload.Generate(workload.Spec{
+		Name: "rt", Dist: workload.Clustered, Sinks: 120, DieX: 1500, DieY: 1200,
+		CapMin: 1e-15, CapMax: 3e-15, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDEFLite(&buf, bm); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDEFLite(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sinks) != len(bm.Sinks) {
+		t.Fatalf("sink count %d vs %d", len(got.Sinks), len(bm.Sinks))
+	}
+	for i := range got.Sinks {
+		a, b := got.Sinks[i], bm.Sinks[i]
+		if a.Name != b.Name {
+			t.Fatalf("sink %d name %q vs %q", i, a.Name, b.Name)
+		}
+		if a.Loc.Dist(b.Loc) > 2e-3 { // 3 decimals of µm
+			t.Fatalf("sink %d moved %v vs %v", i, a.Loc, b.Loc)
+		}
+		if diff := a.Cap - b.Cap; diff > 1e-19 || diff < -1e-19 {
+			t.Fatalf("sink %d cap %g vs %g", i, a.Cap, b.Cap)
+		}
+	}
+	if got.Src.Dist(bm.Src) > 2e-3 {
+		t.Errorf("source moved: %v vs %v", got.Src, bm.Src)
+	}
+	if got.Spec.Sinks != 120 || got.Spec.DieX != 1500 {
+		t.Errorf("spec not reconstructed: %+v", got.Spec)
+	}
+}
+
+func TestDEFLiteFileRoundTrip(t *testing.T) {
+	bm, _ := workload.Generate(workload.CNSSuite()[0])
+	p := filepath.Join(t.TempDir(), "bench.def")
+	if err := WriteDEFLiteFile(p, bm); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDEFLiteFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec.Name != "bench" {
+		t.Errorf("name from path: %q", got.Spec.Name)
+	}
+	if len(got.Sinks) != len(bm.Sinks) {
+		t.Error("sink count mismatch")
+	}
+}
+
+func TestDEFLiteComments(t *testing.T) {
+	in := `# header comment
+DIE 0 0 100 100
+
+# a sink follows
+SOURCE 50 50
+SINK a 10 10 1.5
+END
+`
+	bm, err := ReadDEFLite(strings.NewReader(in), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bm.Sinks) != 1 {
+		t.Fatalf("parsed %+v", bm.Sinks)
+	}
+	if d := bm.Sinks[0].Cap - 1.5e-15; d > 1e-22 || d < -1e-22 {
+		t.Errorf("cap %g", bm.Sinks[0].Cap)
+	}
+}
+
+func TestDEFLiteErrors(t *testing.T) {
+	cases := map[string]string{
+		"sink before die":   "SOURCE 1 1\nSINK a 1 1 1\nEND\n",
+		"sink before src":   "DIE 0 0 9 9\nSINK a 1 1 1\nEND\n",
+		"bad number":        "DIE 0 0 9 9\nSOURCE x 1\nSINK a 1 1 1\nEND\n",
+		"die arity":         "DIE 0 0 9\nSOURCE 1 1\nSINK a 1 1 1\nEND\n",
+		"degenerate die":    "DIE 0 0 0 9\nSOURCE 1 1\nSINK a 1 1 1\nEND\n",
+		"sink arity":        "DIE 0 0 9 9\nSOURCE 1 1\nSINK a 1 1\nEND\n",
+		"dup sink":          "DIE 0 0 9 9\nSOURCE 1 1\nSINK a 1 1 1\nSINK a 2 2 1\nEND\n",
+		"bad cap":           "DIE 0 0 9 9\nSOURCE 1 1\nSINK a 1 1 0\nEND\n",
+		"unknown directive": "DIE 0 0 9 9\nSOURCE 1 1\nWIBBLE\nEND\n",
+		"missing end":       "DIE 0 0 9 9\nSOURCE 1 1\nSINK a 1 1 1\n",
+		"no sinks":          "DIE 0 0 9 9\nSOURCE 1 1\nEND\n",
+		"content after end": "DIE 0 0 9 9\nSOURCE 1 1\nSINK a 1 1 1\nEND\nSINK b 2 2 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadDEFLite(strings.NewReader(in), "x"); err == nil {
+			t.Errorf("%s: should fail", name)
+		} else if !strings.Contains(err.Error(), "deflite") {
+			t.Errorf("%s: unhelpful error %v", name, err)
+		}
+	}
+}
+
+func TestDEFLiteErrorNamesLine(t *testing.T) {
+	in := "DIE 0 0 9 9\nSOURCE 1 1\nSINK a 1 1 bogus\nEND\n"
+	_, err := ReadDEFLite(strings.NewReader(in), "x")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error should cite line 3: %v", err)
+	}
+}

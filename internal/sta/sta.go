@@ -1,0 +1,271 @@
+// Package sta performs static timing analysis of a buffered clock tree:
+// per-sink arrival times (insertion delay), global skew, and transition
+// (slew) at every pin. It is the ground truth the rest of the flow
+// optimizes against.
+//
+// The network is evaluated stage by stage. A stage is the RC tree between
+// one buffer's output and the next buffer inputs / clock sinks below it.
+// Wire delay within a stage is Elmore on the π-model; wire slew is the
+// PERI scaled-Elmore estimate, root-sum-square combined with the driver's
+// output transition; buffer delay and output slew come from the NLDM
+// tables of package cell, evaluated at the stage's total capacitance —
+// the standard CTS-internal delay calculation.
+package sta
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"smartndr/internal/cell"
+	"smartndr/internal/ctree"
+	"smartndr/internal/rctree"
+	"smartndr/internal/tech"
+)
+
+// Result holds one analysis of a clock tree.
+type Result struct {
+	// Arrival[v] is the arrival time at node v's *input* pin: for sink
+	// nodes the clock arrival at the flip-flop, for buffered nodes the
+	// arrival at the buffer input, s.
+	Arrival []float64
+	// Slew[v] is the transition at node v's input pin, s.
+	Slew []float64
+	// StageCap maps each buffered node to the capacitance its buffer
+	// drives, F.
+	StageCap map[int]float64
+	// DownCap[v] is the π-lumped downstream capacitance at and below v
+	// *within its stage* (buffer inputs terminate the accumulation), F.
+	// It is exactly the load an extra micron of wire on v's feeding edge
+	// would drive — the skew-repair snaking pass uses it.
+	DownCap []float64
+
+	// Capacitance inventory, F (for the power model).
+	WireCap     float64 // all wire under assigned rules
+	SinkCap     float64 // sink pins
+	BufInCap    float64 // buffer input pins
+	BufIntCap   float64 // buffer internal switching cap
+	LeakageTot  float64 // W, summed buffer leakage
+	BufferCount int
+
+	sinkNodes []int
+}
+
+// MaxSinkArrival returns the largest sink arrival (insertion delay).
+func (r *Result) MaxSinkArrival() float64 {
+	hi := math.Inf(-1)
+	for _, v := range r.sinkNodes {
+		hi = math.Max(hi, r.Arrival[v])
+	}
+	return hi
+}
+
+// Skew returns max−min sink arrival.
+func (r *Result) Skew() float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range r.sinkNodes {
+		lo = math.Min(lo, r.Arrival[v])
+		hi = math.Max(hi, r.Arrival[v])
+	}
+	if len(r.sinkNodes) == 0 {
+		return 0
+	}
+	return hi - lo
+}
+
+// WorstSlew returns the largest transition at any sink or buffer input,
+// and the node where it occurs.
+func (r *Result) WorstSlew() (float64, int) {
+	worst, at := 0.0, -1
+	for v, s := range r.Slew {
+		if s > worst {
+			worst, at = s, v
+		}
+	}
+	return worst, at
+}
+
+// SlewViolations counts pins whose transition exceeds the limit.
+func (r *Result) SlewViolations(limit float64) int {
+	n := 0
+	for _, s := range r.Slew {
+		if s > limit {
+			n++
+		}
+	}
+	return n
+}
+
+// SinkArrivals returns arrival times indexed by sink (not node) order.
+func (r *Result) SinkArrivals(t *ctree.Tree) []float64 {
+	out := make([]float64, len(t.Sinks))
+	for _, v := range r.sinkNodes {
+		out[t.Nodes[v].SinkIdx] = r.Arrival[v]
+	}
+	return out
+}
+
+// Overrides optionally replace the electrical view of the tree for
+// variation analysis: per-edge parasitics (indexed by node, replacing the
+// rule-derived values) and a per-node multiplicative buffer delay scale.
+// Nil slices fall back to nominal values.
+type Overrides struct {
+	EdgeR    []float64 // Ω per edge; nil → from rules
+	EdgeC    []float64 // F per edge; nil → from rules
+	BufScale []float64 // delay multiplier per buffered node; nil → 1
+}
+
+// Analyze evaluates the tree. inSlew is the transition of the clock signal
+// arriving at the root buffer's input. The root node must carry a buffer
+// (the source driver); every other buffer must lie on a path below it.
+func Analyze(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64) (*Result, error) {
+	return AnalyzeOv(t, te, lib, inSlew, nil)
+}
+
+// AnalyzeOv is Analyze with electrical overrides (see Overrides).
+func AnalyzeOv(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, ov *Overrides) (*Result, error) {
+	if t.Root == ctree.NoNode {
+		return nil, errors.New("sta: tree has no root")
+	}
+	if t.Nodes[t.Root].BufIdx == ctree.NoBuf {
+		return nil, errors.New("sta: root carries no driver buffer")
+	}
+	if inSlew <= 0 {
+		return nil, fmt.Errorf("sta: non-positive input slew %g", inSlew)
+	}
+	n := len(t.Nodes)
+	res := &Result{
+		Arrival:  make([]float64, n),
+		Slew:     make([]float64, n),
+		StageCap: make(map[int]float64),
+	}
+
+	// Per-edge parasitics under the assigned rules.
+	edgeR := make([]float64, n)
+	edgeC := make([]float64, n)
+	for i := range t.Nodes {
+		nd := &t.Nodes[i]
+		if nd.Parent == ctree.NoNode {
+			continue
+		}
+		if nd.Rule < 0 || nd.Rule >= te.NumRules() {
+			return nil, fmt.Errorf("sta: node %d has out-of-range rule %d", i, nd.Rule)
+		}
+		if ov != nil && ov.EdgeR != nil {
+			edgeR[i] = ov.EdgeR[i]
+		} else {
+			edgeR[i] = te.WireR(nd.EdgeLen, nd.Rule)
+		}
+		if ov != nil && ov.EdgeC != nil {
+			edgeC[i] = ov.EdgeC[i]
+		} else {
+			edgeC[i] = te.WireC(nd.EdgeLen, nd.Rule)
+		}
+		res.WireCap += edgeC[i]
+	}
+
+	// L[v]: endpoint cap v presents to its parent's stage.
+	// D[v]: π-model lumped cap at-and-below v within the stage owning v's
+	// feeding edge.
+	L := make([]float64, n)
+	D := make([]float64, n)
+	for i := range t.Nodes {
+		nd := &t.Nodes[i]
+		switch {
+		case nd.BufIdx != ctree.NoBuf:
+			b := &lib.Buffers[nd.BufIdx]
+			if nd.BufIdx < 0 || nd.BufIdx >= len(lib.Buffers) {
+				return nil, fmt.Errorf("sta: node %d has out-of-range buffer %d", i, nd.BufIdx)
+			}
+			L[i] = b.InputCap
+			res.BufInCap += b.InputCap
+			res.BufIntCap += b.InternalCap
+			res.LeakageTot += b.Leakage
+			res.BufferCount++
+		case t.IsLeaf(i):
+			L[i] = t.Sinks[nd.SinkIdx].Cap
+			res.SinkCap += L[i]
+		}
+	}
+	t.PostOrder(func(v int) {
+		nd := &t.Nodes[v]
+		D[v] = L[v] + edgeC[v]/2
+		if nd.BufIdx != ctree.NoBuf {
+			// Children belong to v's own (new) stage; accumulate its load.
+			load := 0.0
+			for _, k := range nd.Kids {
+				if k != ctree.NoNode {
+					load += D[k] + edgeC[k]/2
+				}
+			}
+			res.StageCap[v] = load
+			return
+		}
+		for _, k := range nd.Kids {
+			if k != ctree.NoNode {
+				D[v] += D[k] + edgeC[k]/2
+			}
+		}
+	})
+
+	// Timing, one pre-order pass. elm[v] is the Elmore delay from the
+	// owning stage driver's output pin to v; stageOutArr/stageOutSlew are
+	// indexed by driver node.
+	elm := make([]float64, n)
+	stageOutArr := make(map[int]float64, len(res.StageCap))
+	stageOutSlew := make(map[int]float64, len(res.StageCap))
+	drv := make([]int, n)
+	var fail error
+	startStage := func(v int) {
+		b := &lib.Buffers[t.Nodes[v].BufIdx]
+		load := res.StageCap[v]
+		d := b.DelayAt(res.Slew[v], load)
+		if ov != nil && ov.BufScale != nil {
+			d *= ov.BufScale[v]
+		}
+		stageOutArr[v] = res.Arrival[v] + d
+		stageOutSlew[v] = b.OutSlewAt(res.Slew[v], load)
+	}
+	res.Arrival[t.Root] = 0
+	res.Slew[t.Root] = inSlew
+	drv[t.Root] = t.Root
+	startStage(t.Root)
+	t.PreOrder(func(v int) {
+		if fail != nil || v == t.Root {
+			return
+		}
+		p := t.Nodes[v].Parent
+		var d int
+		var base float64
+		if t.Nodes[p].BufIdx != ctree.NoBuf {
+			d = p
+			base = 0
+		} else {
+			d = drv[p]
+			base = elm[p]
+		}
+		drv[v] = d
+		elm[v] = base + edgeR[v]*D[v]
+		res.Arrival[v] = stageOutArr[d] + elm[v]
+		res.Slew[v] = math.Hypot(stageOutSlew[d], rctree.Ln9*elm[v])
+		if t.Nodes[v].BufIdx != ctree.NoBuf {
+			startStage(v)
+		}
+	})
+	if fail != nil {
+		return nil, fail
+	}
+	for i := range t.Nodes {
+		if t.Nodes[i].SinkIdx != ctree.NoSink {
+			res.sinkNodes = append(res.sinkNodes, i)
+		}
+	}
+	res.DownCap = D
+	return res, nil
+}
+
+// TotalSwitchedCap returns the capacitance toggling every clock cycle:
+// wire, sink pins, buffer inputs, and buffer internal cap.
+func (r *Result) TotalSwitchedCap() float64 {
+	return r.WireCap + r.SinkCap + r.BufInCap + r.BufIntCap
+}

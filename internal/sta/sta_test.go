@@ -1,0 +1,228 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"smartndr/internal/cell"
+	"smartndr/internal/ctree"
+	"smartndr/internal/geom"
+	"smartndr/internal/rctree"
+	"smartndr/internal/tech"
+)
+
+// buffered pair: root (with driver) at (500,0) joining sinks at (0,0) and
+// (1000,0), default rule everywhere.
+func bufferedPair(te *tech.Tech, lib *cell.Library) *ctree.Tree {
+	sinks := []ctree.Sink{
+		{Name: "s0", Loc: geom.Point{X: 0, Y: 0}, Cap: 2e-15},
+		{Name: "s1", Loc: geom.Point{X: 1000, Y: 0}, Cap: 2e-15},
+	}
+	t := ctree.NewTree(sinks, geom.Point{X: 500, Y: 500})
+	l0 := t.AddNode(ctree.Node{Parent: ctree.NoNode, Kids: [2]int{ctree.NoNode, ctree.NoNode}, SinkIdx: 0, Loc: sinks[0].Loc, EdgeLen: 500, BufIdx: ctree.NoBuf})
+	l1 := t.AddNode(ctree.Node{Parent: ctree.NoNode, Kids: [2]int{ctree.NoNode, ctree.NoNode}, SinkIdx: 1, Loc: sinks[1].Loc, EdgeLen: 500, BufIdx: ctree.NoBuf})
+	r := t.AddNode(ctree.Node{Parent: ctree.NoNode, Kids: [2]int{l0, l1}, SinkIdx: ctree.NoSink, Loc: geom.Point{X: 500, Y: 0}, BufIdx: 2})
+	t.Nodes[l0].Parent = r
+	t.Nodes[l1].Parent = r
+	t.Root = r
+	t.SetAllRules(te.DefaultRule)
+	return t
+}
+
+func TestAnalyzePairMatchesHandElmore(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tr := bufferedPair(te, lib)
+	const inSlew = 40e-12
+	res, err := Analyze(tr, te, lib, inSlew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := te.WireR(500, te.DefaultRule)
+	c := te.WireC(500, te.DefaultRule)
+	// Stage load: two edges + two sinks.
+	wantLoad := 2*c + 2*2e-15
+	if got := res.StageCap[tr.Root]; math.Abs(got-wantLoad) > 1e-20 {
+		t.Errorf("StageCap = %g, want %g", got, wantLoad)
+	}
+	b := &lib.Buffers[2]
+	wantBufDelay := b.DelayAt(inSlew, wantLoad)
+	wantElm := r * (c/2 + 2e-15)
+	wantArr := wantBufDelay + wantElm
+	for _, v := range []int{0, 1} {
+		if got := res.Arrival[v]; math.Abs(got-wantArr) > wantArr*1e-9 {
+			t.Errorf("Arrival[%d] = %g, want %g", v, got, wantArr)
+		}
+		wantSlew := math.Hypot(b.OutSlewAt(inSlew, wantLoad), rctree.Ln9*wantElm)
+		if got := res.Slew[v]; math.Abs(got-wantSlew) > wantSlew*1e-9 {
+			t.Errorf("Slew[%d] = %g, want %g", v, got, wantSlew)
+		}
+	}
+	if s := res.Skew(); s > 1e-18 {
+		t.Errorf("symmetric pair skew = %g", s)
+	}
+	if res.BufferCount != 1 {
+		t.Errorf("BufferCount = %d", res.BufferCount)
+	}
+	// Cap inventory.
+	if math.Abs(res.WireCap-2*c) > 1e-20 {
+		t.Errorf("WireCap = %g", res.WireCap)
+	}
+	if math.Abs(res.SinkCap-4e-15) > 1e-20 {
+		t.Errorf("SinkCap = %g", res.SinkCap)
+	}
+	if res.BufInCap != b.InputCap || res.BufIntCap != b.InternalCap {
+		t.Error("buffer cap inventory wrong")
+	}
+	if got := res.TotalSwitchedCap(); math.Abs(got-(2*c+4e-15+b.InputCap+b.InternalCap)) > 1e-20 {
+		t.Errorf("TotalSwitchedCap = %g", got)
+	}
+}
+
+func TestAnalyzeAsymmetricSkew(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tr := bufferedPair(te, lib)
+	// Lengthen one branch: skew must appear and equal the Elmore delta.
+	tr.Nodes[0].EdgeLen = 800
+	res, err := Analyze(tr, te, lib, 40e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skew() <= 0 {
+		t.Error("asymmetric tree must have skew")
+	}
+	if res.Arrival[0] <= res.Arrival[1] {
+		t.Error("longer branch must arrive later")
+	}
+}
+
+func TestAnalyzeNDRRuleChangesTiming(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tr := bufferedPair(te, lib)
+	// A strong driver keeps the buffer's own output slew small, so the
+	// comparison isolates the wire: NDR must improve the wire-dominated
+	// worst slew despite its higher load.
+	tr.Nodes[tr.Root].BufIdx = len(lib.Buffers) - 1
+	base, err := Analyze(tr, te, lib, 40e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetAllRules(te.BlanketRule)
+	ndr, err := Analyze(tr, te, lib, 40e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ndr.WireCap <= base.WireCap {
+		t.Error("blanket NDR must raise wire cap")
+	}
+	w0, _ := base.WorstSlew()
+	w1, _ := ndr.WorstSlew()
+	if w1 >= w0 {
+		t.Errorf("NDR must improve worst slew: %g vs %g", w1, w0)
+	}
+}
+
+func TestAnalyzeTwoStage(t *testing.T) {
+	// Root driver → wire → mid buffer → wire → sink. Checks stage
+	// decomposition: mid buffer input is an endpoint of stage 1 and the
+	// driver of stage 2.
+	te := tech.Tech45()
+	lib := cell.Default45()
+	sinks := []ctree.Sink{{Name: "s", Loc: geom.Point{X: 1000, Y: 0}, Cap: 3e-15}}
+	tr := ctree.NewTree(sinks, geom.Point{})
+	leaf := tr.AddNode(ctree.Node{Parent: ctree.NoNode, Kids: [2]int{ctree.NoNode, ctree.NoNode}, SinkIdx: 0, Loc: sinks[0].Loc, EdgeLen: 500, BufIdx: ctree.NoBuf})
+	mid := tr.AddNode(ctree.Node{Parent: ctree.NoNode, Kids: [2]int{leaf, ctree.NoNode}, SinkIdx: ctree.NoSink, Loc: geom.Point{X: 500, Y: 0}, EdgeLen: 500, BufIdx: 1})
+	root := tr.AddNode(ctree.Node{Parent: ctree.NoNode, Kids: [2]int{mid, ctree.NoNode}, SinkIdx: ctree.NoSink, Loc: geom.Point{X: 0, Y: 0}, BufIdx: 3})
+	tr.Nodes[leaf].Parent = mid
+	tr.Nodes[mid].Parent = root
+	tr.Root = root
+	tr.SetAllRules(te.DefaultRule)
+
+	res, err := Analyze(tr, te, lib, 40e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := te.WireR(500, te.DefaultRule)
+	c := te.WireC(500, te.DefaultRule)
+	bRoot := &lib.Buffers[3]
+	bMid := &lib.Buffers[1]
+	// Stage 1: root buffer drives wire + mid input.
+	load1 := c + bMid.InputCap
+	elmMid := r * (c/2 + bMid.InputCap)
+	wantArrMid := bRoot.DelayAt(40e-12, load1) + elmMid
+	if math.Abs(res.Arrival[mid]-wantArrMid) > wantArrMid*1e-9 {
+		t.Errorf("Arrival[mid] = %g, want %g", res.Arrival[mid], wantArrMid)
+	}
+	// Stage 2 starts at the mid buffer with the stage-1 slew at its input.
+	slewMid := res.Slew[mid]
+	load2 := c + 3e-15
+	elmSink := r * (c/2 + 3e-15)
+	wantArrSink := wantArrMid + bMid.DelayAt(slewMid, load2) + elmSink
+	if math.Abs(res.Arrival[leaf]-wantArrSink) > wantArrSink*1e-9 {
+		t.Errorf("Arrival[sink] = %g, want %g", res.Arrival[leaf], wantArrSink)
+	}
+	if res.BufferCount != 2 {
+		t.Errorf("BufferCount = %d", res.BufferCount)
+	}
+	if got := res.MaxSinkArrival(); math.Abs(got-res.Arrival[leaf]) > 1e-18 {
+		t.Errorf("MaxSinkArrival = %g", got)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tr := bufferedPair(te, lib)
+	if _, err := Analyze(tr, te, lib, 0); err == nil {
+		t.Error("zero input slew must fail")
+	}
+	tr.Nodes[tr.Root].BufIdx = ctree.NoBuf
+	if _, err := Analyze(tr, te, lib, 40e-12); err == nil {
+		t.Error("unbuffered root must fail")
+	}
+	tr2 := bufferedPair(te, lib)
+	tr2.Nodes[0].Rule = 99
+	if _, err := Analyze(tr2, te, lib, 40e-12); err == nil {
+		t.Error("out-of-range rule must fail")
+	}
+	tr3 := ctree.NewTree([]ctree.Sink{{Cap: 1e-15}}, geom.Point{})
+	if _, err := Analyze(tr3, te, lib, 40e-12); err == nil {
+		t.Error("rootless tree must fail")
+	}
+}
+
+func TestSlewViolations(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tr := bufferedPair(te, lib)
+	res, err := Analyze(tr, te, lib, 40e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, at := res.WorstSlew()
+	if worst <= 0 || at < 0 {
+		t.Fatalf("WorstSlew = %g @%d", worst, at)
+	}
+	if res.SlewViolations(worst+1e-15) != 0 {
+		t.Error("no violations above the worst slew")
+	}
+	if res.SlewViolations(worst/2) == 0 {
+		t.Error("half the worst slew must be violated somewhere")
+	}
+}
+
+func TestSinkArrivals(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tr := bufferedPair(te, lib)
+	res, err := Analyze(tr, te, lib, 40e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := res.SinkArrivals(tr)
+	if len(arr) != 2 || arr[0] <= 0 || arr[1] <= 0 {
+		t.Errorf("SinkArrivals = %v", arr)
+	}
+}

@@ -1,0 +1,46 @@
+package tech
+
+import "fmt"
+
+// Corner is a process/voltage/temperature analysis corner, expressed as
+// multiplicative derates on the nominal electrical view — the standard
+// signoff abstraction. Wire R and C derate with metal thickness and
+// dielectric spread; buffer delay derates with device speed.
+type Corner struct {
+	Name      string  `json:"name"`
+	RFactor   float64 `json:"r_factor"`   // wire resistance multiplier
+	CFactor   float64 `json:"c_factor"`   // wire capacitance multiplier
+	BufFactor float64 `json:"buf_factor"` // buffer delay multiplier
+}
+
+// Validate checks the corner.
+func (c Corner) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("tech: corner with empty name")
+	}
+	if c.RFactor <= 0 || c.CFactor <= 0 || c.BufFactor <= 0 {
+		return fmt.Errorf("tech: corner %s has non-positive derate", c.Name)
+	}
+	return nil
+}
+
+// StandardCorners returns the classic three-corner set: typical, slow
+// (hot, thin metal, weak devices), and fast (cold, thick metal, strong
+// devices). Derate magnitudes follow published 45 nm signoff practice.
+func StandardCorners() []Corner {
+	return []Corner{
+		{Name: "typ", RFactor: 1.00, CFactor: 1.00, BufFactor: 1.00},
+		{Name: "slow", RFactor: 1.15, CFactor: 1.08, BufFactor: 1.25},
+		{Name: "fast", RFactor: 0.88, CFactor: 0.94, BufFactor: 0.80},
+	}
+}
+
+// CornerByName looks a standard corner up.
+func CornerByName(name string) (Corner, error) {
+	for _, c := range StandardCorners() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Corner{}, fmt.Errorf("tech: unknown corner %q (have typ, slow, fast)", name)
+}

@@ -1,0 +1,257 @@
+// Package tech models the process technology visible to clock-tree
+// synthesis: the clock routing layer's parasitics as a function of the
+// routing rule (width/spacing class), supply and clock parameters, and the
+// set of non-default rules (NDRs) the router may choose from.
+//
+// The wire model is the standard parameterized form that commercial
+// extractors expose to CTS engines:
+//
+//	r(w)    = Rsheet / (w · Wmin)                      [Ω/µm]
+//	c(w, s) = Carea·(w · Wmin) + Cfringe + Ccouple / s [F/µm]
+//
+// where w and s are the width and spacing multipliers of the rule class
+// (w = s = 1 for the default rule). Widening a wire cuts resistance but
+// grows area capacitance; widening spacing cuts the coupling term. A 2W2S
+// NDR therefore switches more capacitance per micron than the default rule
+// — the power cost that smart NDR assignment recovers.
+package tech
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// RuleClass is one routing rule: a width and spacing multiplier pair over
+// the layer minimums. The default rule is {1, 1}.
+type RuleClass struct {
+	Name  string  `json:"name"`
+	WMult float64 `json:"w_mult"` // width multiplier ≥ 1
+	SMult float64 `json:"s_mult"` // spacing multiplier ≥ 1
+}
+
+// IsDefault reports whether the rule is the minimum-width, minimum-spacing
+// default rule.
+func (r RuleClass) IsDefault() bool { return r.WMult == 1 && r.SMult == 1 }
+
+// Layer describes the metal layer pair used for clock routing (we model the
+// H/V pair as one electrical layer, the usual CTS abstraction).
+type Layer struct {
+	Name     string  `json:"name"`
+	MinWidth float64 `json:"min_width"` // µm
+	MinSpace float64 `json:"min_space"` // µm
+	RSheet   float64 `json:"r_sheet"`   // Ω/sq
+	CArea    float64 `json:"c_area"`    // F/µm per µm of width
+	CFringe  float64 `json:"c_fringe"`  // F/µm
+	CCouple  float64 `json:"c_couple"`  // F/µm at minimum spacing
+}
+
+// RPerUm returns the wire resistance per micron under the given rule.
+func (l Layer) RPerUm(rule RuleClass) float64 {
+	return l.RSheet / (l.MinWidth * rule.WMult)
+}
+
+// CPerUm returns the wire capacitance per micron under the given rule.
+func (l Layer) CPerUm(rule RuleClass) float64 {
+	return l.CArea*(l.MinWidth*rule.WMult) + l.CFringe + l.CCouple/rule.SMult
+}
+
+// TrackPitch returns the routing pitch consumed by a wire of this rule:
+// width plus one spacing. Smart NDR also reduces routing-resource usage;
+// the experiments report this as a secondary metric.
+func (l Layer) TrackPitch(rule RuleClass) float64 {
+	return l.MinWidth*rule.WMult + l.MinSpace*rule.SMult
+}
+
+// Tech is a complete technology description for the clock network.
+type Tech struct {
+	Name  string  `json:"name"`
+	Vdd   float64 `json:"vdd"`   // V
+	Freq  float64 `json:"freq"`  // Hz, nominal clock frequency
+	Layer Layer   `json:"layer"` // clock routing layer
+
+	// Rules holds every available rule class. Rules[DefaultRule] must be
+	// the {1,1} class; Rules[BlanketRule] is the class a conventional flow
+	// applies to the whole tree.
+	Rules       []RuleClass `json:"rules"`
+	DefaultRule int         `json:"default_rule"`
+	BlanketRule int         `json:"blanket_rule"`
+
+	ViaR float64 `json:"via_r"` // Ω per layer change
+	ViaC float64 `json:"via_c"` // F per layer change
+
+	// Constraint defaults; benchmarks may override.
+	MaxSlew float64 `json:"max_slew"` // s, max transition anywhere on the net
+	MaxSkew float64 `json:"max_skew"` // s, global skew bound
+
+	// MaxCapPerStage bounds the capacitance one buffer may drive; the
+	// buffering pass inserts a level when a stage exceeds it.
+	MaxCapPerStage float64 `json:"max_cap_per_stage"` // F
+}
+
+// Rule returns the rule class at index i.
+func (t *Tech) Rule(i int) RuleClass { return t.Rules[i] }
+
+// NumRules returns the number of available rule classes.
+func (t *Tech) NumRules() int { return len(t.Rules) }
+
+// RuleByName looks a rule class up by name.
+func (t *Tech) RuleByName(name string) (int, bool) {
+	for i, r := range t.Rules {
+		if r.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// WireR returns the resistance of a wire of the given length (µm) under
+// rule index ri.
+func (t *Tech) WireR(length float64, ri int) float64 {
+	return t.Layer.RPerUm(t.Rules[ri]) * length
+}
+
+// WireC returns the capacitance of a wire of the given length (µm) under
+// rule index ri.
+func (t *Tech) WireC(length float64, ri int) float64 {
+	return t.Layer.CPerUm(t.Rules[ri]) * length
+}
+
+// Validate checks internal consistency. Every loader calls this before the
+// technology is used; the error messages name the offending field.
+func (t *Tech) Validate() error {
+	switch {
+	case t.Name == "":
+		return errors.New("tech: empty name")
+	case t.Vdd <= 0:
+		return fmt.Errorf("tech %s: non-positive vdd %g", t.Name, t.Vdd)
+	case t.Freq <= 0:
+		return fmt.Errorf("tech %s: non-positive freq %g", t.Name, t.Freq)
+	case t.Layer.MinWidth <= 0 || t.Layer.MinSpace <= 0:
+		return fmt.Errorf("tech %s: non-positive layer minimums", t.Name)
+	case t.Layer.RSheet <= 0:
+		return fmt.Errorf("tech %s: non-positive sheet resistance", t.Name)
+	case t.Layer.CArea < 0 || t.Layer.CFringe < 0 || t.Layer.CCouple < 0:
+		return fmt.Errorf("tech %s: negative capacitance coefficient", t.Name)
+	case len(t.Rules) == 0:
+		return fmt.Errorf("tech %s: no rule classes", t.Name)
+	case t.DefaultRule < 0 || t.DefaultRule >= len(t.Rules):
+		return fmt.Errorf("tech %s: default rule index %d out of range", t.Name, t.DefaultRule)
+	case t.BlanketRule < 0 || t.BlanketRule >= len(t.Rules):
+		return fmt.Errorf("tech %s: blanket rule index %d out of range", t.Name, t.BlanketRule)
+	case !t.Rules[t.DefaultRule].IsDefault():
+		return fmt.Errorf("tech %s: rule %q marked default is not 1W1S", t.Name, t.Rules[t.DefaultRule].Name)
+	case t.MaxSlew <= 0:
+		return fmt.Errorf("tech %s: non-positive max slew %g", t.Name, t.MaxSlew)
+	case t.MaxSkew <= 0:
+		return fmt.Errorf("tech %s: non-positive max skew %g", t.Name, t.MaxSkew)
+	case t.MaxCapPerStage <= 0:
+		return fmt.Errorf("tech %s: non-positive max cap per stage %g", t.Name, t.MaxCapPerStage)
+	}
+	seen := make(map[string]bool, len(t.Rules))
+	for i, r := range t.Rules {
+		if r.Name == "" {
+			return fmt.Errorf("tech %s: rule %d has empty name", t.Name, i)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("tech %s: duplicate rule name %q", t.Name, r.Name)
+		}
+		seen[r.Name] = true
+		if r.WMult < 1 || r.SMult < 1 {
+			return fmt.Errorf("tech %s: rule %q has multiplier below 1", t.Name, r.Name)
+		}
+		if math.IsNaN(r.WMult) || math.IsNaN(r.SMult) {
+			return fmt.Errorf("tech %s: rule %q has NaN multiplier", t.Name, r.Name)
+		}
+	}
+	return nil
+}
+
+// standardRules is the rule menu shared by the built-in technologies:
+// the default class plus the spacing-only, width-only, full, and heavy NDRs.
+func standardRules() []RuleClass {
+	return []RuleClass{
+		{Name: "1W1S", WMult: 1, SMult: 1},
+		{Name: "1W2S", WMult: 1, SMult: 2},
+		{Name: "2W1S", WMult: 2, SMult: 1},
+		{Name: "2W2S", WMult: 2, SMult: 2},
+		{Name: "3W3S", WMult: 3, SMult: 3},
+	}
+}
+
+// Tech45 returns a 45 nm-class technology with a semi-global clock layer.
+// Coefficients are set so that the per-micron RC of each rule class tracks
+// published 45 nm interconnect data: the 2W2S NDR halves resistance at the
+// cost of ~28% more capacitance than the default rule.
+func Tech45() *Tech {
+	t := &Tech{
+		Name: "tech45",
+		Vdd:  1.0,
+		Freq: 1.0e9,
+		Layer: Layer{
+			Name:     "M5M6",
+			MinWidth: 0.070,    // µm
+			MinSpace: 0.070,    // µm
+			RSheet:   0.21,     // Ω/sq → 3.0 Ω/µm at 1W
+			CArea:    1.40e-15, // F/µm per µm width
+			CFringe:  0.030e-15,
+			CCouple:  0.080e-15,
+		},
+		Rules:          standardRules(),
+		DefaultRule:    0,
+		BlanketRule:    3, // 2W2S
+		ViaR:           2.0,
+		ViaC:           0.05e-15,
+		MaxSlew:        100e-12,
+		MaxSkew:        25e-12,
+		MaxCapPerStage: 120e-15,
+	}
+	if err := t.Validate(); err != nil {
+		panic("tech: built-in tech45 invalid: " + err.Error())
+	}
+	return t
+}
+
+// Tech65 returns a 65 nm-class technology. Wires are wider and less
+// resistive; coupling is a smaller share of total capacitance, so NDRs buy
+// less and the smart assignment sheds them more aggressively.
+func Tech65() *Tech {
+	t := &Tech{
+		Name: "tech65",
+		Vdd:  1.1,
+		Freq: 750e6,
+		Layer: Layer{
+			Name:     "M5M6",
+			MinWidth: 0.100,
+			MinSpace: 0.100,
+			RSheet:   0.16, // → 1.6 Ω/µm at 1W
+			CArea:    1.10e-15,
+			CFringe:  0.040e-15,
+			CCouple:  0.060e-15,
+		},
+		Rules:          standardRules(),
+		DefaultRule:    0,
+		BlanketRule:    3,
+		ViaR:           1.5,
+		ViaC:           0.08e-15,
+		MaxSlew:        120e-12,
+		MaxSkew:        30e-12,
+		MaxCapPerStage: 150e-15,
+	}
+	if err := t.Validate(); err != nil {
+		panic("tech: built-in tech65 invalid: " + err.Error())
+	}
+	return t
+}
+
+// ByName returns a built-in technology by name.
+func ByName(name string) (*Tech, error) {
+	switch name {
+	case "tech45", "45":
+		return Tech45(), nil
+	case "tech65", "65":
+		return Tech65(), nil
+	default:
+		return nil, fmt.Errorf("tech: unknown technology %q (have tech45, tech65)", name)
+	}
+}

@@ -1,0 +1,174 @@
+package tech
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltinsValidate(t *testing.T) {
+	for _, tt := range []*Tech{Tech45(), Tech65()} {
+		if err := tt.Validate(); err != nil {
+			t.Errorf("%s: %v", tt.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"tech45", "45", "tech65", "65"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("tech7"); err == nil {
+		t.Error("unknown tech must error")
+	} else if !strings.Contains(err.Error(), "tech7") {
+		t.Errorf("error should name the unknown tech: %v", err)
+	}
+}
+
+func TestRuleOrderingPhysics(t *testing.T) {
+	tt := Tech45()
+	def := tt.Rules[tt.DefaultRule]
+	blanket := tt.Rules[tt.BlanketRule]
+	l := tt.Layer
+
+	if l.RPerUm(blanket) >= l.RPerUm(def) {
+		t.Error("NDR must reduce resistance per micron")
+	}
+	if l.CPerUm(blanket) <= l.CPerUm(def) {
+		t.Error("full NDR (2W2S) must cost more capacitance than default")
+	}
+	// Spacing-only NDR reduces cap (less coupling, same area).
+	i, ok := tt.RuleByName("1W2S")
+	if !ok {
+		t.Fatal("1W2S missing")
+	}
+	if l.CPerUm(tt.Rules[i]) >= l.CPerUm(def) {
+		t.Error("1W2S must reduce capacitance")
+	}
+	// Width-only NDR is the most capacitive two-mult class.
+	j, ok := tt.RuleByName("2W1S")
+	if !ok {
+		t.Fatal("2W1S missing")
+	}
+	if l.CPerUm(tt.Rules[j]) <= l.CPerUm(blanket) {
+		t.Error("2W1S must cost more cap than 2W2S")
+	}
+	// RC delay product must improve with the blanket NDR.
+	rcDef := l.RPerUm(def) * l.CPerUm(def)
+	rcNDR := l.RPerUm(blanket) * l.CPerUm(blanket)
+	if rcNDR >= rcDef {
+		t.Errorf("blanket NDR must reduce RC product: def %g vs ndr %g", rcDef, rcNDR)
+	}
+}
+
+func TestWireRC(t *testing.T) {
+	tt := Tech45()
+	r := tt.WireR(1000, tt.DefaultRule)
+	c := tt.WireC(1000, tt.DefaultRule)
+	if r <= 0 || c <= 0 {
+		t.Fatal("wire RC must be positive")
+	}
+	// 1 mm of default wire at 3 Ω/µm.
+	if math.Abs(r-3000) > 1 {
+		t.Errorf("WireR(1mm) = %g, want ≈3000", r)
+	}
+	// Linearity in length.
+	if got := tt.WireR(2000, tt.DefaultRule); math.Abs(got-2*r) > 1e-9 {
+		t.Error("WireR not linear in length")
+	}
+	if got := tt.WireC(2000, tt.DefaultRule); math.Abs(got-2*c) > 1e-24 {
+		t.Error("WireC not linear in length")
+	}
+}
+
+func TestTrackPitch(t *testing.T) {
+	tt := Tech45()
+	def := tt.Rules[tt.DefaultRule]
+	ndr := tt.Rules[tt.BlanketRule]
+	if tt.Layer.TrackPitch(ndr) <= tt.Layer.TrackPitch(def) {
+		t.Error("NDR must consume more routing pitch")
+	}
+}
+
+func TestRPerUmMonotoneInWidth(t *testing.T) {
+	l := Tech45().Layer
+	f := func(w1, w2 float64) bool {
+		a := 1 + math.Abs(math.Mod(w1, 4))
+		b := a + math.Abs(math.Mod(w2, 4)) + 0.01
+		ra := l.RPerUm(RuleClass{WMult: a, SMult: 1})
+		rb := l.RPerUm(RuleClass{WMult: b, SMult: 1})
+		return rb < ra
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCPerUmMonotone(t *testing.T) {
+	l := Tech45().Layer
+	f := func(s1, s2 float64) bool {
+		a := 1 + math.Abs(math.Mod(s1, 4))
+		b := a + math.Abs(math.Mod(s2, 4)) + 0.01
+		ca := l.CPerUm(RuleClass{WMult: 1, SMult: a})
+		cb := l.CPerUm(RuleClass{WMult: 1, SMult: b})
+		return cb < ca // wider spacing → less coupling → less cap
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(*Tech)
+	}{
+		{"empty name", func(t *Tech) { t.Name = "" }},
+		{"zero vdd", func(t *Tech) { t.Vdd = 0 }},
+		{"negative freq", func(t *Tech) { t.Freq = -1 }},
+		{"zero min width", func(t *Tech) { t.Layer.MinWidth = 0 }},
+		{"zero rsheet", func(t *Tech) { t.Layer.RSheet = 0 }},
+		{"negative carea", func(t *Tech) { t.Layer.CArea = -1 }},
+		{"no rules", func(t *Tech) { t.Rules = nil }},
+		{"default oob", func(t *Tech) { t.DefaultRule = 99 }},
+		{"blanket oob", func(t *Tech) { t.BlanketRule = -1 }},
+		{"default not 1W1S", func(t *Tech) { t.DefaultRule = 3 }},
+		{"zero max slew", func(t *Tech) { t.MaxSlew = 0 }},
+		{"zero max skew", func(t *Tech) { t.MaxSkew = 0 }},
+		{"zero stage cap", func(t *Tech) { t.MaxCapPerStage = 0 }},
+		{"dup rule name", func(t *Tech) { t.Rules[1].Name = t.Rules[0].Name }},
+		{"empty rule name", func(t *Tech) { t.Rules[2].Name = "" }},
+		{"sub-1 multiplier", func(t *Tech) { t.Rules[1].WMult = 0.5 }},
+		{"nan multiplier", func(t *Tech) { t.Rules[1].SMult = math.NaN() }},
+	}
+	for _, m := range mutations {
+		tt := Tech45()
+		m.mutate(tt)
+		if err := tt.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", m.name)
+		}
+	}
+}
+
+func TestRuleByName(t *testing.T) {
+	tt := Tech45()
+	i, ok := tt.RuleByName("2W2S")
+	if !ok || tt.Rules[i].Name != "2W2S" {
+		t.Errorf("RuleByName failed: %d %v", i, ok)
+	}
+	if _, ok := tt.RuleByName("9W9S"); ok {
+		t.Error("unknown rule should not resolve")
+	}
+}
+
+func TestIsDefault(t *testing.T) {
+	if !(RuleClass{Name: "d", WMult: 1, SMult: 1}).IsDefault() {
+		t.Error("1W1S should be default")
+	}
+	if (RuleClass{Name: "n", WMult: 2, SMult: 1}).IsDefault() {
+		t.Error("2W1S should not be default")
+	}
+}

@@ -1,0 +1,169 @@
+// Package viz renders a synthesized clock tree as a standalone SVG: edges
+// color-coded by routing-rule class with width proportional to the rule's
+// wire width, buffers as squares sized by drive, sinks as dots. The output
+// is what a physical designer would eyeball to sanity-check an NDR
+// assignment — heavy rules should trace the trunk and junction stages.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"smartndr/internal/cell"
+	"smartndr/internal/ctree"
+	"smartndr/internal/geom"
+	"smartndr/internal/route"
+	"smartndr/internal/tech"
+)
+
+// rulePalette colors rule classes from cool (cheap) to hot (heavy). The
+// index is the rank in capacitance order; extra classes reuse the last hue.
+var rulePalette = []string{
+	"#4878cf", // cheapest
+	"#6acc65",
+	"#d5bb67",
+	"#ee854a",
+	"#d65f5f", // heaviest
+	"#956cb4",
+}
+
+// Options configure rendering.
+type Options struct {
+	// WidthPx is the SVG canvas width in pixels (height follows the die
+	// aspect). Default 1000.
+	WidthPx float64
+	// ShowSinks toggles sink dots (default true via NewOptions).
+	ShowSinks bool
+	// ShowBuffers toggles buffer markers (default true via NewOptions).
+	ShowBuffers bool
+	// Title is drawn in the top-left corner.
+	Title string
+}
+
+// NewOptions returns the defaults.
+func NewOptions(title string) Options {
+	return Options{WidthPx: 1000, ShowSinks: true, ShowBuffers: true, Title: title}
+}
+
+// WriteSVG renders the tree.
+func WriteSVG(w io.Writer, t *ctree.Tree, te *tech.Tech, lib *cell.Library, opt Options) error {
+	if opt.WidthPx <= 0 {
+		opt.WidthPx = 1000
+	}
+	if t.Root == ctree.NoNode || len(t.Nodes) == 0 {
+		return fmt.Errorf("viz: tree has no nodes")
+	}
+	bb := geom.NewEmptyBBox()
+	for i := range t.Nodes {
+		bb.Extend(t.Nodes[i].Loc)
+	}
+	for _, s := range t.Sinks {
+		bb.Extend(s.Loc)
+	}
+	if bb.Empty() {
+		return fmt.Errorf("viz: tree has no geometry")
+	}
+	pad := 0.03 * (bb.Width() + bb.Height()) / 2
+	bb.Extend(geom.Point{X: bb.MinX - pad, Y: bb.MinY - pad})
+	bb.Extend(geom.Point{X: bb.MaxX + pad, Y: bb.MaxY + pad})
+	scale := opt.WidthPx / bb.Width()
+	heightPx := bb.Height() * scale
+	// SVG y grows downward; chip y grows upward.
+	px := func(p geom.Point) (float64, float64) {
+		return (p.X - bb.MinX) * scale, heightPx - (p.Y-bb.MinY)*scale
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.1f %.1f">`+"\n",
+		opt.WidthPx, heightPx, opt.WidthPx, heightPx)
+	fmt.Fprintf(bw, `<rect width="100%%" height="100%%" fill="#fafafa"/>`+"\n")
+
+	// Rules ranked by capacitance so the palette reads cheap→heavy.
+	rank := make([]int, te.NumRules())
+	{
+		order := make([]int, te.NumRules())
+		for i := range order {
+			order[i] = i
+		}
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && te.Layer.CPerUm(te.Rule(order[j])) < te.Layer.CPerUm(te.Rule(order[j-1])); j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		for r, ri := range order {
+			rank[ri] = r
+		}
+	}
+	color := func(ri int) string {
+		k := rank[ri]
+		if k >= len(rulePalette) {
+			k = len(rulePalette) - 1
+		}
+		return rulePalette[k]
+	}
+
+	// Edges as realized rectilinear paths.
+	paths, err := route.Realize(t)
+	if err != nil {
+		return fmt.Errorf("viz: %w", err)
+	}
+	for _, p := range paths {
+		ri := t.Nodes[p.Node].Rule
+		sw := 0.8 + 1.2*te.Rule(ri).WMult
+		fmt.Fprintf(bw, `<polyline fill="none" stroke="%s" stroke-width="%.2f" stroke-opacity="0.8" points="`,
+			color(ri), sw)
+		for _, pt := range p.Pts {
+			x, y := px(pt)
+			fmt.Fprintf(bw, "%.1f,%.1f ", x, y)
+		}
+		fmt.Fprint(bw, `"/>`+"\n")
+	}
+
+	if opt.ShowBuffers {
+		for i := range t.Nodes {
+			bi := t.Nodes[i].BufIdx
+			if bi == ctree.NoBuf {
+				continue
+			}
+			x, y := px(t.Nodes[i].Loc)
+			size := 3 + 0.08*lib.Buffers[bi].Drive
+			fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#333333"/>`+"\n",
+				x-size/2, y-size/2, size, size)
+		}
+	}
+	if opt.ShowSinks {
+		for _, s := range t.Sinks {
+			x, y := px(s.Loc)
+			fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="1.6" fill="#1a6faf" fill-opacity="0.7"/>`+"\n", x, y)
+		}
+	}
+
+	// Legend.
+	lx, ly := 12.0, 24.0
+	if opt.Title != "" {
+		fmt.Fprintf(bw, `<text x="%.0f" y="%.0f" font-family="monospace" font-size="14" fill="#222">%s</text>`+"\n",
+			lx, ly-8, opt.Title)
+		ly += 12
+	}
+	for i := 0; i < te.NumRules(); i++ {
+		fmt.Fprintf(bw, `<line x1="%.0f" y1="%.0f" x2="%.0f" y2="%.0f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+			lx, ly, lx+28, ly, color(i), 0.8+1.2*te.Rule(i).WMult)
+		fmt.Fprintf(bw, `<text x="%.0f" y="%.0f" font-family="monospace" font-size="11" fill="#444">%s</text>`+"\n",
+			lx+34, ly+4, te.Rule(i).Name)
+		ly += 15
+	}
+	fmt.Fprint(bw, "</svg>\n")
+	return bw.Flush()
+}
+
+// WriteSVGFile renders to a path.
+func WriteSVGFile(path string, t *ctree.Tree, te *tech.Tech, lib *cell.Library, opt Options) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("viz: %w", err)
+	}
+	defer f.Close()
+	return WriteSVG(f, t, te, lib, opt)
+}

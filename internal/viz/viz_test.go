@@ -1,0 +1,104 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"smartndr/internal/cell"
+	"smartndr/internal/core"
+	"smartndr/internal/ctree"
+	"smartndr/internal/cts"
+	"smartndr/internal/geom"
+	"smartndr/internal/tech"
+)
+
+func builtTree(t *testing.T) (*ctree.Tree, *tech.Tech, *cell.Library) {
+	t.Helper()
+	te := tech.Tech45()
+	lib := cell.Default45()
+	rng := rand.New(rand.NewSource(5))
+	sinks := make([]ctree.Sink, 60)
+	for i := range sinks {
+		sinks[i] = ctree.Sink{
+			Loc: geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 800},
+			Cap: 2e-15,
+		}
+	}
+	res, err := cts.Build(sinks, geom.Point{X: 500, Y: 400}, te, lib, cts.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Tree.SetAllRules(te.BlanketRule)
+	return res.Tree, te, lib
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	tr, te, lib := builtTree(t)
+	if _, err := core.Optimize(tr, te, lib, core.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, tr, te, lib, NewOptions("test tree")); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	// Contains the structural elements.
+	for _, want := range []string{"<svg", "polyline", "circle", "rect", "test tree", "2W2S"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One polyline per edge.
+	if n := strings.Count(out, "<polyline"); n != len(tr.Nodes)-1 {
+		t.Errorf("polylines %d, edges %d", n, len(tr.Nodes)-1)
+	}
+	// One circle per sink (legend has none).
+	if n := strings.Count(out, "<circle"); n != len(tr.Sinks) {
+		t.Errorf("circles %d, sinks %d", n, len(tr.Sinks))
+	}
+}
+
+func TestWriteSVGOptions(t *testing.T) {
+	tr, te, lib := builtTree(t)
+	var buf bytes.Buffer
+	opt := Options{WidthPx: 500} // sinks and buffers off
+	if err := WriteSVG(&buf, tr, te, lib, opt); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<circle") {
+		t.Error("sinks drawn despite ShowSinks=false")
+	}
+	if !strings.Contains(buf.String(), `width="500"`) {
+		t.Error("custom width ignored")
+	}
+}
+
+func TestWriteSVGFile(t *testing.T) {
+	tr, te, lib := builtTree(t)
+	p := t.TempDir() + "/tree.svg"
+	if err := WriteSVGFile(p, tr, te, lib, NewOptions("f")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteSVGEmptyTreeFails(t *testing.T) {
+	tr := ctree.NewTree([]ctree.Sink{{Cap: 1e-15}}, geom.Point{})
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, tr, tech.Tech45(), cell.Default45(), NewOptions("")); err == nil {
+		t.Error("geometry-less tree must fail")
+	}
+}

@@ -1,0 +1,221 @@
+// Package workload generates clock-tree benchmarks: sink placements and
+// pin capacitances with the statistical shapes of the standard CTS
+// benchmark suites (uniform ISPD-CNS-style floorplans, register banks,
+// clustered SoC blocks, perimeter-heavy I/O designs). Every generator is
+// deterministic in its seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"smartndr/internal/ctree"
+	"smartndr/internal/geom"
+)
+
+// Distribution selects the sink placement shape.
+type Distribution int
+
+const (
+	// Uniform scatters sinks uniformly over the die.
+	Uniform Distribution = iota
+	// Clustered places sinks in Gaussian clumps (register banks around
+	// datapath blocks), plus a uniform background.
+	Clustered
+	// Perimeter concentrates sinks near the die edges (I/O registers)
+	// with a sparse center.
+	Perimeter
+	// Grid places sinks on a jittered regular grid (datapath arrays).
+	Grid
+)
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Clustered:
+		return "clustered"
+	case Perimeter:
+		return "perimeter"
+	case Grid:
+		return "grid"
+	default:
+		return fmt.Sprintf("distribution(%d)", int(d))
+	}
+}
+
+// Spec describes one benchmark.
+type Spec struct {
+	Name   string       `json:"name"`
+	Dist   Distribution `json:"dist"`
+	Sinks  int          `json:"sinks"`
+	DieX   float64      `json:"die_x"`   // µm
+	DieY   float64      `json:"die_y"`   // µm
+	CapMin float64      `json:"cap_min"` // F
+	CapMax float64      `json:"cap_max"` // F
+	Seed   int64        `json:"seed"`
+	// Clusters is the clump count for the Clustered distribution.
+	Clusters int `json:"clusters,omitempty"`
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("workload: empty name")
+	case s.Sinks <= 0:
+		return fmt.Errorf("workload %s: non-positive sink count %d", s.Name, s.Sinks)
+	case s.DieX <= 0 || s.DieY <= 0:
+		return fmt.Errorf("workload %s: non-positive die", s.Name)
+	case s.CapMin <= 0 || s.CapMax < s.CapMin:
+		return fmt.Errorf("workload %s: bad cap range [%g, %g]", s.Name, s.CapMin, s.CapMax)
+	}
+	return nil
+}
+
+// Benchmark is a generated testcase.
+type Benchmark struct {
+	Spec  Spec         `json:"spec"`
+	Sinks []ctree.Sink `json:"sinks"`
+	Src   geom.Point   `json:"src"` // clock source location (die center)
+}
+
+// Generate produces the benchmark for a spec.
+func Generate(s Spec) (*Benchmark, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	sinks := make([]ctree.Sink, s.Sinks)
+	place := placer(s, rng)
+	for i := range sinks {
+		sinks[i] = ctree.Sink{
+			Name: fmt.Sprintf("%s/ff%05d", s.Name, i),
+			Loc:  place(),
+			Cap:  s.CapMin + rng.Float64()*(s.CapMax-s.CapMin),
+		}
+	}
+	return &Benchmark{
+		Spec:  s,
+		Sinks: sinks,
+		Src:   geom.Point{X: s.DieX / 2, Y: s.DieY / 2},
+	}, nil
+}
+
+func placer(s Spec, rng *rand.Rand) func() geom.Point {
+	clamp := func(p geom.Point) geom.Point {
+		return geom.Point{
+			X: geom.Clamp(p.X, 0, s.DieX),
+			Y: geom.Clamp(p.Y, 0, s.DieY),
+		}
+	}
+	switch s.Dist {
+	case Clustered:
+		k := s.Clusters
+		if k <= 0 {
+			k = 1 + s.Sinks/150
+		}
+		centers := make([]geom.Point, k)
+		for i := range centers {
+			centers[i] = geom.Point{X: rng.Float64() * s.DieX, Y: rng.Float64() * s.DieY}
+		}
+		sigma := math.Min(s.DieX, s.DieY) / (3 * math.Sqrt(float64(k)))
+		return func() geom.Point {
+			if rng.Float64() < 0.15 { // uniform background
+				return geom.Point{X: rng.Float64() * s.DieX, Y: rng.Float64() * s.DieY}
+			}
+			c := centers[rng.Intn(k)]
+			return clamp(geom.Point{
+				X: c.X + rng.NormFloat64()*sigma,
+				Y: c.Y + rng.NormFloat64()*sigma,
+			})
+		}
+	case Perimeter:
+		band := math.Min(s.DieX, s.DieY) * 0.12
+		return func() geom.Point {
+			if rng.Float64() < 0.2 { // sparse center
+				return geom.Point{X: rng.Float64() * s.DieX, Y: rng.Float64() * s.DieY}
+			}
+			switch rng.Intn(4) {
+			case 0:
+				return geom.Point{X: rng.Float64() * s.DieX, Y: rng.Float64() * band}
+			case 1:
+				return geom.Point{X: rng.Float64() * s.DieX, Y: s.DieY - rng.Float64()*band}
+			case 2:
+				return geom.Point{X: rng.Float64() * band, Y: rng.Float64() * s.DieY}
+			default:
+				return geom.Point{X: s.DieX - rng.Float64()*band, Y: rng.Float64() * s.DieY}
+			}
+		}
+	case Grid:
+		cols := int(math.Ceil(math.Sqrt(float64(s.Sinks) * s.DieX / s.DieY)))
+		if cols < 1 {
+			cols = 1
+		}
+		rows := (s.Sinks + cols - 1) / cols
+		px := s.DieX / float64(cols)
+		py := s.DieY / float64(rows)
+		i := 0
+		return func() geom.Point {
+			cx := float64(i%cols) * px
+			cy := float64(i/cols%rows) * py
+			i++
+			return clamp(geom.Point{
+				X: cx + px/2 + rng.NormFloat64()*px/8,
+				Y: cy + py/2 + rng.NormFloat64()*py/8,
+			})
+		}
+	default: // Uniform
+		return func() geom.Point {
+			return geom.Point{X: rng.Float64() * s.DieX, Y: rng.Float64() * s.DieY}
+		}
+	}
+}
+
+// CNSSuite returns the eight built-in benchmarks used by the experiment
+// tables. Sizes and die dimensions follow the spread of the ISPD-2010
+// clock-network-synthesis contest testcases (thousands of sinks over
+// multi-millimetre dies), with the distribution families rotating so the
+// optimizer sees uniform, clustered, perimeter, and array-like inputs.
+func CNSSuite() []Spec {
+	mk := func(i int, d Distribution, n int, die float64) Spec {
+		return Spec{
+			Name:   fmt.Sprintf("cns%02d", i),
+			Dist:   d,
+			Sinks:  n,
+			DieX:   die,
+			DieY:   die * 0.8,
+			CapMin: 1e-15,
+			CapMax: 4e-15,
+			Seed:   int64(1000 + i),
+		}
+	}
+	return []Spec{
+		mk(1, Uniform, 1200, 3200),
+		mk(2, Clustered, 1600, 4000),
+		mk(3, Uniform, 2000, 5000),
+		mk(4, Perimeter, 2400, 5600),
+		mk(5, Grid, 3000, 6400),
+		mk(6, Clustered, 4000, 7000),
+		mk(7, Uniform, 6000, 8000),
+		mk(8, Clustered, 8000, 9000),
+	}
+}
+
+// ByName returns the CNS suite spec with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range CNSSuite() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	names := make([]string, 0, 8)
+	for _, s := range CNSSuite() {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return Spec{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, names)
+}

@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"smartndr/internal/geom"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := CNSSuite()[0]
+	a, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Sinks) != len(b.Sinks) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a.Sinks {
+		if a.Sinks[i] != b.Sinks[i] {
+			t.Fatalf("sink %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateSeedChangesOutput(t *testing.T) {
+	s := CNSSuite()[0]
+	a, _ := Generate(s)
+	s.Seed++
+	b, _ := Generate(s)
+	same := 0
+	for i := range a.Sinks {
+		if a.Sinks[i].Loc == b.Sinks[i].Loc {
+			same++
+		}
+	}
+	if same == len(a.Sinks) {
+		t.Error("different seeds must produce different placements")
+	}
+}
+
+func TestAllDistributionsInDie(t *testing.T) {
+	for _, d := range []Distribution{Uniform, Clustered, Perimeter, Grid} {
+		s := Spec{Name: "t", Dist: d, Sinks: 500, DieX: 1000, DieY: 800, CapMin: 1e-15, CapMax: 3e-15, Seed: 5}
+		bm, err := Generate(s)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if len(bm.Sinks) != 500 {
+			t.Fatalf("%v: %d sinks", d, len(bm.Sinks))
+		}
+		for i, sk := range bm.Sinks {
+			if sk.Loc.X < 0 || sk.Loc.X > s.DieX || sk.Loc.Y < 0 || sk.Loc.Y > s.DieY {
+				t.Fatalf("%v: sink %d at %v outside die", d, i, sk.Loc)
+			}
+			if sk.Cap < s.CapMin || sk.Cap > s.CapMax {
+				t.Fatalf("%v: sink %d cap %g outside range", d, i, sk.Cap)
+			}
+			if sk.Name == "" {
+				t.Fatalf("%v: sink %d unnamed", d, i)
+			}
+		}
+		if bm.Src != (geom.Point{X: 500, Y: 400}) {
+			t.Errorf("%v: src = %v", d, bm.Src)
+		}
+	}
+}
+
+func TestDistributionShapes(t *testing.T) {
+	// Perimeter: most sinks within the edge band. Clustered: sample
+	// variance of local density higher than uniform.
+	die := 2000.0
+	band := die * 0.15
+	per, _ := Generate(Spec{Name: "p", Dist: Perimeter, Sinks: 2000, DieX: die, DieY: die, CapMin: 1e-15, CapMax: 2e-15, Seed: 9})
+	edge := 0
+	for _, sk := range per.Sinks {
+		if sk.Loc.X < band || sk.Loc.X > die-band || sk.Loc.Y < band || sk.Loc.Y > die-band {
+			edge++
+		}
+	}
+	if frac := float64(edge) / float64(len(per.Sinks)); frac < 0.6 {
+		t.Errorf("perimeter edge fraction %g too low", frac)
+	}
+
+	uni, _ := Generate(Spec{Name: "u", Dist: Uniform, Sinks: 2000, DieX: die, DieY: die, CapMin: 1e-15, CapMax: 2e-15, Seed: 9})
+	clu, _ := Generate(Spec{Name: "c", Dist: Clustered, Sinks: 2000, DieX: die, DieY: die, CapMin: 1e-15, CapMax: 2e-15, Seed: 9, Clusters: 6})
+	if gridVar(clu, die) < 2*gridVar(uni, die) {
+		t.Error("clustered density variance should far exceed uniform")
+	}
+}
+
+// gridVar bins sinks into an 8×8 grid and returns bin-count variance — a
+// crude clumpiness measure.
+func gridVar(bm *Benchmark, die float64) float64 {
+	const g = 8
+	var bins [g * g]float64
+	for _, s := range bm.Sinks {
+		x := int(s.Loc.X / die * g)
+		y := int(s.Loc.Y / die * g)
+		if x >= g {
+			x = g - 1
+		}
+		if y >= g {
+			y = g - 1
+		}
+		bins[y*g+x]++
+	}
+	mean := float64(len(bm.Sinks)) / (g * g)
+	var v float64
+	for _, b := range bins {
+		v += (b - mean) * (b - mean)
+	}
+	return v / (g * g)
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("cns03")
+	if err != nil || s.Name != "cns03" {
+		t.Fatalf("ByName: %v %v", s, err)
+	}
+	if _, err := ByName("cns99"); err == nil {
+		t.Error("unknown benchmark must error")
+	} else if !strings.Contains(err.Error(), "cns99") {
+		t.Errorf("error should name the miss: %v", err)
+	}
+}
+
+func TestCNSSuiteShape(t *testing.T) {
+	suite := CNSSuite()
+	if len(suite) != 8 {
+		t.Fatalf("suite size %d", len(suite))
+	}
+	seen := map[string]bool{}
+	prev := 0
+	for _, s := range suite {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate name %s", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Sinks < prev {
+			t.Error("suite should grow in sink count")
+		}
+		prev = s.Sinks
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{Name: "x", Sinks: 10, DieX: 100, DieY: 100, CapMin: 1e-15, CapMax: 2e-15}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{Sinks: 10, DieX: 100, DieY: 100, CapMin: 1e-15, CapMax: 2e-15},
+		{Name: "x", Sinks: 0, DieX: 100, DieY: 100, CapMin: 1e-15, CapMax: 2e-15},
+		{Name: "x", Sinks: 10, DieX: 0, DieY: 100, CapMin: 1e-15, CapMax: 2e-15},
+		{Name: "x", Sinks: 10, DieX: 100, DieY: 100, CapMin: 0, CapMax: 2e-15},
+		{Name: "x", Sinks: 10, DieX: 100, DieY: 100, CapMin: 3e-15, CapMax: 2e-15},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+	if _, err := Generate(bad[1]); err == nil {
+		t.Error("Generate must validate")
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	for _, d := range []Distribution{Uniform, Clustered, Perimeter, Grid, Distribution(9)} {
+		if d.String() == "" {
+			t.Error("empty distribution name")
+		}
+	}
+}
+
+func TestGridIsRegular(t *testing.T) {
+	g, _ := Generate(Spec{Name: "g", Dist: Grid, Sinks: 400, DieX: 2000, DieY: 2000, CapMin: 1e-15, CapMax: 2e-15, Seed: 3})
+	// Nearest-neighbor distances on a jittered grid concentrate near the
+	// pitch; their coefficient of variation is far below uniform random.
+	nnCV := func(sinks []float64) float64 { return 0 }
+	_ = nnCV
+	pitch := 100.0 // 2000/sqrt(400)
+	var devSum float64
+	n := 0
+	for i := 0; i < len(g.Sinks); i += 10 {
+		best := math.Inf(1)
+		for j := range g.Sinks {
+			if i == j {
+				continue
+			}
+			if d := g.Sinks[i].Loc.Dist(g.Sinks[j].Loc); d < best {
+				best = d
+			}
+		}
+		devSum += math.Abs(best - pitch)
+		n++
+	}
+	if devSum/float64(n) > pitch {
+		t.Errorf("grid NN distances far from pitch: mean dev %g", devSum/float64(n))
+	}
+}
