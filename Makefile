@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build check vet fmt test race bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+check: vet fmt race
+
+vet:
+	$(GO) vet ./...
+
+# Fails if any file needs reformatting; prints the offenders.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+clean:
+	$(GO) clean ./...

@@ -97,6 +97,39 @@ func BenchmarkTiming2k(b *testing.B) {
 	}
 }
 
+// Tracer-overhead benchmarks: BenchmarkFlowSmart is the untraced
+// baseline, the NopTracer variant proves a disabled tracer is free
+// (NewTracer(nil) is a nil tracer — every instrumentation point is one
+// nil check), and the Traced variant prices a live in-memory sink.
+
+func benchFlowSmart(b *testing.B, flow *Flow) {
+	b.Helper()
+	sinks := benchSinks(b, 1000)
+	built, err := flow.Build(sinks, Point{X: 2000, Y: 1600})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flow.Apply(built, SchemeSmart); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlowSmart(b *testing.B) {
+	benchFlowSmart(b, NewFlow(nil))
+}
+
+func BenchmarkFlowSmartNopTracer(b *testing.B) {
+	benchFlowSmart(b, NewFlow(&FlowConfig{Tracer: NewTracer(nil)}))
+}
+
+func BenchmarkFlowSmartTraced(b *testing.B) {
+	col := NewTraceCollector()
+	benchFlowSmart(b, NewFlow(&FlowConfig{Tracer: NewTracer(col)}))
+}
+
 func BenchmarkMonteCarlo100(b *testing.B) {
 	sinks := benchSinks(b, 500)
 	flow := NewFlow(nil)

@@ -6,19 +6,24 @@
 //	smartndr -bench cns03 -scheme smart
 //	smartndr -in my.json -scheme all -tech tech65
 //	smartndr -bench cns01 -scheme smart -save tree.json
+//	smartndr -bench cns05 -scheme smart -timing -trace run.jsonl
 //
 // With -scheme all, every scheme runs on the same synthesized tree and a
-// comparison table is printed.
+// comparison table is printed. -timing prints a phase-breakdown table to
+// stderr, -trace streams every span as a JSONL event, and -pprof serves
+// net/http/pprof for live profiling (see docs/observability.md).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
 	"smartndr"
-	"smartndr/internal/cell"
+	"smartndr/internal/obs"
 	"smartndr/internal/report"
 	"smartndr/internal/sio"
 	"smartndr/internal/tech"
@@ -34,7 +39,16 @@ func main() {
 	save := flag.String("save", "", "save the (last) scheme's tree as JSON")
 	svg := flag.String("svg", "", "render the (last) scheme's tree as SVG")
 	mc := flag.Bool("mc", false, "also run process-variation Monte Carlo")
+	traceFile := flag.String("trace", "", "write span events as JSON lines to this file")
+	timing := flag.Bool("timing", false, "print a phase-timing breakdown to stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	startPprof(*pprofAddr)
+	tracer, collector, closeTrace, err := setupTracing(*traceFile, *timing)
+	if err != nil {
+		fatal(err)
+	}
 
 	bm, err := loadBench(*bench, *in)
 	if err != nil {
@@ -44,11 +58,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	lib := cell.Default45()
-	if te.Name == "tech65" {
-		lib = cell.Default65()
-	}
-	flow := smartndr.NewFlow(&smartndr.FlowConfig{Tech: te, Library: lib})
+	flow := smartndr.NewFlow(&smartndr.FlowConfig{
+		Tech: te, Library: smartndr.DefaultLibraryFor(te), Tracer: tracer,
+	})
+	root := tracer.Start("smartndr", obs.S("bench", bm.Spec.Name))
+	// Registered first so it runs after the deferred stats/MC prints:
+	// close the root span, flush the trace, and render the phase table.
+	defer func() {
+		root.End()
+		if err := closeTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "smartndr: trace:", err)
+		}
+		if collector != nil {
+			tb := report.TimingTable("phase timing ("+bm.Spec.Name+")", collector.Events())
+			fmt.Fprintln(os.Stderr)
+			if err := tb.Render(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "smartndr: timing:", err)
+			}
+		}
+	}()
 
 	fmt.Printf("benchmark %s: %d sinks, %.1f×%.1f mm die (%s)\n",
 		bm.Spec.Name, len(bm.Sinks), bm.Spec.DieX/1000, bm.Spec.DieY/1000, bm.Spec.Dist)
@@ -106,11 +134,56 @@ func main() {
 	}
 	if *svg != "" && last != nil {
 		title := fmt.Sprintf("%s / %s (%s)", bm.Spec.Name, last.Scheme, te.Name)
-		if err := viz.WriteSVGFile(*svg, last.Tree, te, lib, viz.NewOptions(title)); err != nil {
+		if err := viz.WriteSVGFile(*svg, last.Tree, te, flow.Config().Library, viz.NewOptions(title)); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("rendered %s tree to %s\n", last.Scheme, *svg)
 	}
+}
+
+// setupTracing builds the tracer for the requested outputs: a JSONL
+// file sink for -trace, an in-memory collector for -timing, or both.
+// The returned closer flushes and closes whatever was opened.
+func setupTracing(traceFile string, timing bool) (*smartndr.Tracer, *obs.Collector, func() error, error) {
+	var sinks []obs.Sink
+	var f *os.File
+	if traceFile != "" {
+		var err error
+		f, err = os.Create(traceFile)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		sinks = append(sinks, obs.NewJSONL(f))
+	}
+	var col *obs.Collector
+	if timing {
+		col = obs.NewCollector()
+		sinks = append(sinks, col)
+	}
+	tracer := obs.New(obs.Multi(sinks...))
+	closer := func() error {
+		err := tracer.Close()
+		if f != nil {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		return err
+	}
+	return tracer, col, closer, nil
+}
+
+// startPprof serves net/http/pprof on addr when non-empty.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "smartndr: pprof:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", addr)
 }
 
 func loadBench(bench, in string) (*workload.Benchmark, error) {

@@ -18,6 +18,11 @@
 // integrated skew repair). All schemes are evaluated on clones of the same
 // synthesized tree, so comparisons isolate the rule assignment.
 //
+// The flow is instrumented: set FlowConfig.Tracer (NewTracer with a
+// JSONL, tree, or collector sink) to record hierarchical timing spans and
+// run counters for every entry point; a nil tracer costs nothing. See
+// docs/observability.md.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduced evaluation.
 package smartndr

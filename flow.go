@@ -3,12 +3,14 @@ package smartndr
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"smartndr/internal/cell"
 	"smartndr/internal/core"
 	"smartndr/internal/ctree"
 	"smartndr/internal/cts"
 	"smartndr/internal/geom"
+	"smartndr/internal/obs"
 	"smartndr/internal/sta"
 	"smartndr/internal/tech"
 	"smartndr/internal/variation"
@@ -38,7 +40,30 @@ type (
 	VariationParams = variation.Params
 	// VariationStats summarize a Monte Carlo run.
 	VariationStats = variation.Stats
+	// Tracer records hierarchical spans and metrics of a flow run. A nil
+	// tracer disables instrumentation at no cost.
+	Tracer = obs.Tracer
+	// TraceSink receives finished span events.
+	TraceSink = obs.Sink
+	// SpanEvent is one finished span as delivered to a sink.
+	SpanEvent = obs.SpanEvent
+	// TraceCollector is an in-memory sink for post-run inspection.
+	TraceCollector = obs.Collector
 )
+
+// NewTracer returns a tracer emitting to the sink; a nil sink yields a
+// nil (disabled) tracer. Attach it via FlowConfig.Tracer.
+func NewTracer(sink TraceSink) *Tracer { return obs.New(sink) }
+
+// NewJSONLSink streams span events as JSON lines to w.
+func NewJSONLSink(w io.Writer) TraceSink { return obs.NewJSONL(w) }
+
+// NewTreeSink renders the span tree to w when the tracer is closed.
+func NewTreeSink(w io.Writer) TraceSink { return obs.NewTree(w) }
+
+// NewTraceCollector returns an in-memory sink; its Events feed
+// report.TimingTable or custom analysis.
+func NewTraceCollector() *TraceCollector { return obs.NewCollector() }
 
 // Scheme selects a routing-rule assignment policy.
 type Scheme int
@@ -85,11 +110,31 @@ func (s Scheme) String() string {
 // NewFlow) selects the 45 nm-class defaults.
 type FlowConfig struct {
 	Tech    *Tech       // nil → tech.Tech45()
-	Library *Library    // nil → cell.Default45()
+	Library *Library    // nil → DefaultLibraryFor(Tech)
 	CTS     cts.Options // tree construction knobs
 	Opt     core.Config // smart-optimizer knobs
-	TopK    int         // K for SchemeTopK (default 2)
-	InSlew  float64     // root input transition (default 40 ps)
+	// TopK is K for SchemeTopK. Zero is the "unset" sentinel and resolves
+	// to the default of 2 — an explicit K=0 via Apply(b, SchemeTopK) is
+	// therefore not expressible here; use ApplyTopK(b, 0), which honors
+	// K=0 literally (every edge on the default rule), for K sweeps.
+	TopK   int
+	InSlew float64 // root input transition (default 40 ps)
+	// Tracer, when non-nil, instruments every flow entry point with
+	// hierarchical spans (build phases, optimizer passes, STA splits,
+	// Monte Carlo trials) and run counters. See internal/obs; construct
+	// with NewTracer and a sink. Nil disables instrumentation at no cost.
+	Tracer *Tracer
+}
+
+// DefaultLibraryFor returns the built-in buffer library matching the
+// technology: the 65 nm library for 65 nm-class nodes (Tech.Node == 65,
+// with a name-based fallback for legacy Tech values), the 45 nm library
+// otherwise.
+func DefaultLibraryFor(te *Tech) *Library {
+	if te != nil && (te.Node == 65 || (te.Node == 0 && te.Name == "tech65")) {
+		return cell.Default65()
+	}
+	return cell.Default45()
 }
 
 // Flow runs clock-tree synthesis and rule assignment.
@@ -107,11 +152,7 @@ func NewFlow(cfg *FlowConfig) *Flow {
 		c.Tech = tech.Tech45()
 	}
 	if c.Library == nil {
-		if c.Tech.Name == "tech65" {
-			c.Library = cell.Default65()
-		} else {
-			c.Library = cell.Default45()
-		}
+		c.Library = DefaultLibraryFor(c.Tech)
 	}
 	if c.TopK == 0 {
 		c.TopK = 2
@@ -138,7 +179,13 @@ func (f *Flow) Build(sinks []Sink, src Point) (*Built, error) {
 	if len(sinks) == 0 {
 		return nil, errors.New("smartndr: no sinks")
 	}
-	res, err := cts.Build(sinks, src, f.cfg.Tech, f.cfg.Library, f.cfg.CTS)
+	sp := f.cfg.Tracer.Start("flow.build", obs.I("sinks", len(sinks)))
+	defer sp.End()
+	opt := f.cfg.CTS
+	if opt.Tracer == nil {
+		opt.Tracer = f.cfg.Tracer
+	}
+	res, err := cts.Build(sinks, src, f.cfg.Tech, f.cfg.Library, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -164,6 +211,8 @@ func (f *Flow) Apply(b *Built, scheme Scheme) (*Result, error) {
 	if b == nil || b.Tree == nil {
 		return nil, errors.New("smartndr: nil built tree")
 	}
+	sp := f.cfg.Tracer.Start("flow.apply", obs.S("scheme", scheme.String()))
+	defer sp.End()
 	te, lib := f.cfg.Tech, f.cfg.Library
 	t := b.Tree.Clone()
 	res := &Result{Scheme: scheme, Tree: t}
@@ -178,7 +227,11 @@ func (f *Flow) Apply(b *Built, scheme Scheme) (*Result, error) {
 		core.AssignTrunk(t, te)
 	case SchemeSmart:
 		core.AssignAll(t, te.BlanketRule)
-		stats, err := core.Optimize(t, te, lib, f.cfg.Opt)
+		opt := f.cfg.Opt
+		if opt.Tracer == nil {
+			opt.Tracer = f.cfg.Tracer
+		}
+		stats, err := core.Optimize(t, te, lib, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -186,7 +239,7 @@ func (f *Flow) Apply(b *Built, scheme Scheme) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("smartndr: unknown scheme %d", int(scheme))
 	}
-	m, _, err := core.Evaluate(t, te, lib, f.cfg.InSlew)
+	m, _, err := core.EvaluateTr(t, te, lib, f.cfg.InSlew, f.cfg.Tracer)
 	if err != nil {
 		return nil, err
 	}
@@ -194,12 +247,20 @@ func (f *Flow) Apply(b *Built, scheme Scheme) (*Result, error) {
 	return res, nil
 }
 
-// ApplyTopK evaluates the TopK scheme at a specific K (for sweeps).
+// ApplyTopK evaluates the TopK scheme at a specific K (for sweeps). K is
+// honored literally — ApplyTopK(b, 0) is the supported way to measure an
+// all-default assignment inside a K sweep (FlowConfig.TopK treats 0 as
+// "unset").
 func (f *Flow) ApplyTopK(b *Built, k int) (*Result, error) {
+	if b == nil || b.Tree == nil {
+		return nil, errors.New("smartndr: nil built tree")
+	}
+	sp := f.cfg.Tracer.Start("flow.apply_topk", obs.I("k", k))
+	defer sp.End()
 	te, lib := f.cfg.Tech, f.cfg.Library
 	t := b.Tree.Clone()
 	core.AssignTopLevels(t, te, k)
-	m, _, err := core.Evaluate(t, te, lib, f.cfg.InSlew)
+	m, _, err := core.EvaluateTr(t, te, lib, f.cfg.InSlew, f.cfg.Tracer)
 	if err != nil {
 		return nil, err
 	}
@@ -248,19 +309,19 @@ func (f *Flow) EvaluateCorners(t *Tree) (*core.MultiCornerReport, error) {
 
 // Evaluate recomputes metrics for a tree under this flow's technology.
 func (f *Flow) Evaluate(t *Tree) (Metrics, error) {
-	m, _, err := core.Evaluate(t, f.cfg.Tech, f.cfg.Library, f.cfg.InSlew)
+	m, _, err := core.EvaluateTr(t, f.cfg.Tech, f.cfg.Library, f.cfg.InSlew, f.cfg.Tracer)
 	return m, err
 }
 
 // Timing exposes the underlying STA result of a tree (arrivals, slews,
 // stage loads) for inspection and custom reports.
 func (f *Flow) Timing(t *Tree) (*sta.Result, error) {
-	return sta.Analyze(t, f.cfg.Tech, f.cfg.Library, f.cfg.InSlew)
+	return sta.AnalyzeTr(t, f.cfg.Tech, f.cfg.Library, f.cfg.InSlew, nil, f.cfg.Tracer)
 }
 
 // MonteCarlo runs process-variation analysis on a tree.
 func (f *Flow) MonteCarlo(t *Tree, p VariationParams) (*VariationStats, error) {
-	return variation.MonteCarlo(t, f.cfg.Tech, f.cfg.Library, p)
+	return variation.MonteCarloTr(t, f.cfg.Tech, f.cfg.Library, p, f.cfg.Tracer)
 }
 
 // MaxTopK returns the deepest meaningful K for TopK sweeps on a built

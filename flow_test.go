@@ -148,9 +148,163 @@ func TestBenchmarkLookup(t *testing.T) {
 }
 
 func TestSchemeString(t *testing.T) {
-	for _, s := range []Scheme{SchemeAllDefault, SchemeBlanket, SchemeTopK, SchemeSmart, Scheme(9)} {
-		if s.String() == "" {
-			t.Error("empty scheme name")
+	want := map[Scheme]string{
+		SchemeAllDefault: "all-default",
+		SchemeBlanket:    "blanket-ndr",
+		SchemeTopK:       "top-k",
+		SchemeSmart:      "smart-ndr",
+		SchemeTrunk:      "trunk-ndr",
+		Scheme(9):        "scheme(9)",
+	}
+	for s, name := range want {
+		if got := s.String(); got != name {
+			t.Errorf("Scheme(%d).String() = %q, want %q", int(s), got, name)
+		}
+	}
+}
+
+func TestDefaultLibraryFor(t *testing.T) {
+	cases := []struct {
+		name string
+		te   *Tech
+		want string
+	}{
+		{"nil tech", nil, "clkbuf45"},
+		{"tech45 preset", tech.Tech45(), "clkbuf45"},
+		{"tech65 preset", tech.Tech65(), "clkbuf65"},
+		// The regression NewFlow used to miss: a 65 nm-class technology
+		// whose name is not literally "tech65" must still get the 65 nm
+		// library, keyed by Node rather than string matching.
+		{"renamed 65 nm tech", renamedTech(tech.Tech65(), "my_foundry_65lp"), "clkbuf65"},
+		{"renamed 45 nm tech", renamedTech(tech.Tech45(), "my_foundry_45gp"), "clkbuf45"},
+		// Legacy values with Node unset fall back to the name.
+		{"legacy tech65 name", legacyTech(tech.Tech65()), "clkbuf65"},
+		{"legacy custom name", renamedTech(legacyTech(tech.Tech65()), "custom"), "clkbuf45"},
+	}
+	for _, c := range cases {
+		if got := DefaultLibraryFor(c.te).Name; got != c.want {
+			t.Errorf("%s: library = %s, want %s", c.name, got, c.want)
+		}
+		if c.te == nil {
+			continue
+		}
+		f := NewFlow(&FlowConfig{Tech: c.te})
+		if got := f.Config().Library.Name; got != c.want {
+			t.Errorf("%s: NewFlow library = %s, want %s", c.name, got, c.want)
+		}
+	}
+}
+
+func renamedTech(te *Tech, name string) *Tech {
+	te.Name = name
+	return te
+}
+
+func legacyTech(te *Tech) *Tech {
+	te.Node = 0
+	return te
+}
+
+func TestApplyTopKZeroIsAllDefault(t *testing.T) {
+	bm := smallBench(t, 120, 1800)
+	flow := NewFlow(nil)
+	built, err := flow.Build(bm.Sinks, bm.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := flow.ApplyTopK(built, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := flow.Apply(built, SchemeAllDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Metrics.Power.Total() != def.Metrics.Power.Total() ||
+		zero.Metrics.SwitchedCap != def.Metrics.SwitchedCap ||
+		zero.Metrics.Skew != def.Metrics.Skew ||
+		zero.Metrics.NDRFraction != def.Metrics.NDRFraction {
+		t.Errorf("ApplyTopK(b, 0) metrics differ from SchemeAllDefault:\n%+v\n%+v",
+			zero.Metrics, def.Metrics)
+	}
+	if zero.Metrics.NDRFraction != 0 {
+		t.Errorf("K=0 should route everything on the default rule, NDR fraction %.3f",
+			zero.Metrics.NDRFraction)
+	}
+	if _, err := flow.ApplyTopK(nil, 1); err == nil {
+		t.Error("nil built must fail")
+	}
+}
+
+// TestFlowApplyCloneIsolation pins down that Apply and ApplyTopK never
+// mutate the Built tree, whatever scheme runs: every rule assignment in
+// the built tree must match the pre-Apply snapshot afterwards.
+func TestFlowApplyCloneIsolation(t *testing.T) {
+	bm := smallBench(t, 100, 1500)
+	flow := NewFlow(nil)
+	built, err := flow.Build(bm.Sinks, bm.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := make([]int, len(built.Tree.Nodes))
+	for i := range built.Tree.Nodes {
+		snapshot[i] = built.Tree.Nodes[i].Rule
+	}
+	check := func(label string) {
+		t.Helper()
+		if len(built.Tree.Nodes) != len(snapshot) {
+			t.Fatalf("%s: node count changed", label)
+		}
+		for i := range built.Tree.Nodes {
+			if built.Tree.Nodes[i].Rule != snapshot[i] {
+				t.Fatalf("%s mutated built tree at node %d", label, i)
+			}
+		}
+	}
+	for _, s := range []Scheme{SchemeAllDefault, SchemeBlanket, SchemeTopK, SchemeTrunk, SchemeSmart} {
+		if _, err := flow.Apply(built, s); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		check(s.String())
+	}
+	if _, err := flow.ApplyTopK(built, 3); err != nil {
+		t.Fatal(err)
+	}
+	check("ApplyTopK")
+}
+
+// TestFlowTracing drives the flow through the public tracing surface and
+// checks the recorded spans cover build, apply, and the metrics snapshot.
+func TestFlowTracing(t *testing.T) {
+	bm := smallBench(t, 100, 1500)
+	col := NewTraceCollector()
+	tracer := NewTracer(col)
+	flow := NewFlow(&FlowConfig{Tracer: tracer})
+	built, err := flow.Build(bm.Sinks, bm.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flow.Apply(built, SchemeSmart); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	paths := map[string]bool{}
+	for _, ev := range col.Events() {
+		paths[ev.Span] = true
+	}
+	for _, want := range []string{
+		"flow.build",
+		"flow.build/cts.build",
+		"flow.build/cts.build/cluster",
+		"flow.apply",
+		"flow.apply/core.optimize",
+		"flow.apply/core.evaluate/sta.analyze",
+		"metrics",
+	} {
+		if !paths[want] {
+			t.Errorf("span %q missing; got %v", want, paths)
 		}
 	}
 }

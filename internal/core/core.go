@@ -28,6 +28,7 @@ import (
 
 	"smartndr/internal/cell"
 	"smartndr/internal/ctree"
+	"smartndr/internal/obs"
 	"smartndr/internal/power"
 	"smartndr/internal/sta"
 	"smartndr/internal/tech"
@@ -87,6 +88,10 @@ type Config struct {
 	// width floors are computed up front and no edge is downgraded below
 	// its floor. Nil reproduces the slew/skew-only optimization.
 	EM *EMLimit
+	// Tracer, when non-nil, records per-phase spans and optimizer
+	// counters (downgrades, upgrades, repair rounds). Nil disables
+	// instrumentation at no cost.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults(te *tech.Tech) Config {
@@ -147,10 +152,20 @@ type Metrics struct {
 
 // Evaluate analyzes the tree and extracts the full metric set.
 func Evaluate(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64) (Metrics, *sta.Result, error) {
-	res, err := sta.Analyze(t, te, lib, inSlew)
+	return EvaluateTr(t, te, lib, inSlew, nil)
+}
+
+// EvaluateTr is Evaluate with instrumentation: the STA and the metric
+// extraction record separate spans under "core.evaluate".
+func EvaluateTr(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, tr *obs.Tracer) (Metrics, *sta.Result, error) {
+	sp := tr.Start("core.evaluate")
+	defer sp.End()
+	res, err := sta.AnalyzeTr(t, te, lib, inSlew, nil, tr)
 	if err != nil {
 		return Metrics{}, nil, err
 	}
+	exSpan := tr.Start("extract")
+	defer exSpan.End()
 	m := Metrics{
 		Power:       power.Compute(res, te),
 		SwitchedCap: res.TotalSwitchedCap(),

@@ -6,11 +6,14 @@ import (
 
 	"smartndr/internal/cell"
 	"smartndr/internal/ctree"
+	"smartndr/internal/obs"
 	"smartndr/internal/sta"
 	"smartndr/internal/tech"
 )
 
-// Stats reports what Optimize did.
+// Stats reports what Optimize did. The per-pass slices are always
+// populated (no sink or tracer required), so library users get
+// iteration-level telemetry from the return value alone.
 type Stats struct {
 	Passes     int     // downgrade sweeps executed
 	Downgrades int     // accepted rule reductions
@@ -20,6 +23,19 @@ type Stats struct {
 	RepairWire float64 // wirelength added by skew repair, µm
 	FinalSkew  float64 // s
 	FinalSlew  float64 // s, worst transition
+
+	// PassDowngrades[p] is the number of downgrades accepted in sweep p.
+	PassDowngrades []int
+	// PassCapDelta[p] is the switched-capacitance reduction achieved by
+	// sweep p, F (measured by the next full analysis; the last entry is
+	// measured against the post-cleanup final state).
+	PassCapDelta []float64
+	// RepairRounds counts skew-repair invocations (initial balance plus
+	// every cleanup alternation).
+	RepairRounds int
+	// RecoverRounds counts violation-recovery sweeps in the cleanup
+	// alternation (including the headroom passes).
+	RecoverRounds int
 }
 
 // debugOptimize enables diagnostic prints (tests only).
@@ -67,6 +83,9 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 		return nil, err
 	}
 	cfg = cfg.withDefaults(te)
+	tr := cfg.Tracer
+	sp := tr.Start("core.optimize", obs.I("nodes", len(t.Nodes)))
+	defer sp.End()
 	stats := &Stats{}
 	res, err := sta.Analyze(t, te, lib, cfg.InSlew)
 	if err != nil {
@@ -76,23 +95,31 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 	slewLimit := cfg.MaxSlew * cfg.SlewSafety
 
 	if !cfg.DisableRepair {
+		rsp := tr.Start("init_repair")
 		rep, err := RepairSkew(t, te, lib, cfg.InSlew, cfg.MaxSkew, cfg.RepairIters)
 		if err != nil {
 			return nil, err
 		}
 		stats.RepairWire += rep.AddedWire
+		stats.RepairRounds++
+		rsp.Set("iters", rep.Iters)
+		rsp.Set("added_wire_um", rep.AddedWire)
+		rsp.End()
 	}
 
 	span := newSinkSpan(t)
 	byCap := rulesByCap(te)
 
 	var emFloor []float64
+	var passCap []float64 // switched cap observed at the start of each sweep
 
 	for pass := 0; pass < cfg.MaxPasses; pass++ {
+		psp := tr.Start("pass", obs.I("pass", pass))
 		res, err = sta.Analyze(t, te, lib, cfg.InSlew)
 		if err != nil {
 			return nil, err
 		}
+		passCap = append(passCap, res.TotalSwitchedCap())
 		if cfg.EM != nil {
 			// EM width floors against the *current* parasitics: early
 			// passes see the conservative (heavier-wire) floors, later
@@ -163,6 +190,9 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 			}
 		}
 		stats.Passes++
+		stats.PassDowngrades = append(stats.PassDowngrades, changed)
+		psp.Set("downgrades", changed)
+		psp.End()
 		if changed == 0 {
 			break
 		}
@@ -174,17 +204,27 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 	// move helps). Repair itself is slew-safe (it rolls back iterations
 	// that create violations), and a fresh call restarts its adaptive
 	// damping, so re-invoking it after upgrades keeps making progress.
-	stats.Upgrades += recoverViolations(t, te, lib, cfg, slewLimit, cfg.MaxSlew, byCap)
+	rvsp := tr.Start("recover")
+	up0 := recoverViolations(t, te, lib, cfg, slewLimit, cfg.MaxSlew, byCap)
+	stats.Upgrades += up0
+	stats.RecoverRounds++
+	rvsp.Set("upgrades", up0)
+	rvsp.End()
 	if !cfg.DisableRepair {
+		csp := tr.Start("cleanup")
 		prevRepair := math.Inf(1)
+		rounds := 0
 		for round := 0; round < 8; round++ {
+			rounds = round + 1
 			rep, err := RepairSkew(t, te, lib, cfg.InSlew, cfg.MaxSkew, cfg.RepairIters)
 			if err != nil {
 				return nil, err
 			}
 			stats.RepairWire += rep.AddedWire
+			stats.RepairRounds++
 			up := recoverViolations(t, te, lib, cfg, slewLimit, cfg.MaxSlew, byCap)
 			stats.Upgrades += up
+			stats.RecoverRounds++
 			if rep.Converged && up == 0 {
 				break
 			}
@@ -194,12 +234,15 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 				headroom := 0.90 * cfg.MaxSlew
 				hr := recoverViolations(t, te, lib, cfg, headroom, headroom, byCap)
 				stats.Upgrades += hr
+				stats.RecoverRounds++
 				if hr == 0 {
 					break // nothing left to upgrade; accept the residual
 				}
 			}
 			prevRepair = rep.FinalSkew
 		}
+		csp.Set("rounds", rounds)
+		csp.End()
 	}
 	res, err = sta.Analyze(t, te, lib, cfg.InSlew)
 	if err != nil {
@@ -208,6 +251,24 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 	stats.CapAfter = res.TotalSwitchedCap()
 	stats.FinalSkew = res.Skew()
 	stats.FinalSlew, _ = res.WorstSlew()
+	// Per-sweep capacitance deltas: each sweep's gain is visible at the
+	// next analysis; the last sweep is measured against the final state,
+	// so cleanup upgrades and repair wire land in its entry.
+	for p := range passCap {
+		next := stats.CapAfter
+		if p+1 < len(passCap) {
+			next = passCap[p+1]
+		}
+		stats.PassCapDelta = append(stats.PassCapDelta, passCap[p]-next)
+	}
+	tr.Add("core.downgrades", float64(stats.Downgrades))
+	tr.Add("core.upgrades", float64(stats.Upgrades))
+	tr.Add("core.repair_wire_um", stats.RepairWire)
+	tr.Gauge("core.final_skew_ps", stats.FinalSkew*1e12)
+	tr.Gauge("core.final_slew_ps", stats.FinalSlew*1e12)
+	tr.Gauge("core.cap_saved_frac", 1-stats.CapAfter/stats.CapBefore)
+	sp.Set("passes", stats.Passes)
+	sp.Set("downgrades", stats.Downgrades)
 	return stats, nil
 }
 

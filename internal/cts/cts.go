@@ -36,6 +36,7 @@ import (
 	"smartndr/internal/ctree"
 	"smartndr/internal/dme"
 	"smartndr/internal/geom"
+	"smartndr/internal/obs"
 	"smartndr/internal/sta"
 	"smartndr/internal/tech"
 	"smartndr/internal/topo"
@@ -65,6 +66,10 @@ type Options struct {
 	// per-cluster common-mode model error (ablation knob). Construction
 	// skew grows by roughly an order of magnitude without it.
 	NoCalibration bool
+	// Tracer, when non-nil, records per-phase construction spans
+	// (clustering, leaf embedding, top embedding, calibration). Nil
+	// disables instrumentation at no cost.
+	Tracer *obs.Tracer
 }
 
 // clusterSlewMargin is the fraction of the slew budget a cluster buffer's
@@ -139,6 +144,9 @@ func Build(sinks []ctree.Sink, src geom.Point, te *tech.Tech, lib *cell.Library,
 		return nil, err
 	}
 	opt = opt.withDefaults()
+	tr := opt.Tracer
+	sp := tr.Start("cts.build", obs.I("sinks", len(sinks)))
+	defer sp.End()
 	blanket := te.Rule(te.BlanketRule)
 	r := te.Layer.RPerUm(blanket)
 	c := te.Layer.CPerUm(blanket)
@@ -154,6 +162,7 @@ func Build(sinks []ctree.Sink, src geom.Point, te *tech.Tech, lib *cell.Library,
 	estSlew := rl.SteadySlew
 
 	// ---- Phase A: cluster, embed, leaf-buffer. ----
+	clSpan := tr.Start("cluster")
 	idx := make([]int, len(sinks))
 	for i := range idx {
 		idx[i] = i
@@ -163,6 +172,9 @@ func Build(sinks []ctree.Sink, src geom.Point, te *tech.Tech, lib *cell.Library,
 	if err := clusterize(sinks, idx, budget, wireP, opt.Topology, &clusters); err != nil {
 		return nil, err
 	}
+	clSpan.Set("clusters", len(clusters))
+	clSpan.End()
+	leafSpan := tr.Start("leaf_embed")
 
 	type clusterTree struct {
 		tree   *ctree.Tree
@@ -207,6 +219,8 @@ func Build(sinks []ctree.Sink, src geom.Point, te *tech.Tech, lib *cell.Library,
 		})
 	}
 
+	leafSpan.End()
+
 	// ---- Single-cluster short-circuit. ----
 	if len(cts) == 1 {
 		final := rebaseCluster(cts[0].tree, cts[0].member, sinks, src)
@@ -243,6 +257,7 @@ func Build(sinks []ctree.Sink, src geom.Point, te *tech.Tech, lib *cell.Library,
 			},
 		}
 	}
+	topSpan := tr.Start("top_embed")
 	pseudo := make([]ctree.Sink, len(cts))
 	for i := range cts {
 		pseudo[i] = cts[i].pseudo
@@ -276,13 +291,18 @@ func Build(sinks []ctree.Sink, src geom.Point, te *tech.Tech, lib *cell.Library,
 		trees[i] = cts[i].tree
 		members[i] = cts[i].member
 	}
+	topSpan.End()
 	iters := calibrationIters
 	if opt.NoCalibration {
 		iters = 1
 	}
+	calSpan := tr.Start("calibrate")
+	lastSpread := 0.0
+	calIters := 0
 	var final *ctree.Tree
 	clusterRoots := make([]int, len(cts))
 	for iter := 0; iter < iters; iter++ {
+		calIters = iter + 1
 		topWork := topBase.Clone()
 		for ci, ln := range leafOf {
 			topWork.Nodes[ln].EdgeLen = leafLen[ci]
@@ -318,6 +338,7 @@ func Build(sinks []ctree.Sink, src geom.Point, te *tech.Tech, lib *cell.Library,
 				leafLen[ci] = topP.ExtendForDelay(leafLen[ci], trimDamping*lag)
 			}
 		}
+		lastSpread = spread
 		if debugCalibration {
 			fmt.Printf("cts: trim iter %d spread %.2f ps\n", iter, spread*1e12)
 		}
@@ -325,6 +346,10 @@ func Build(sinks []ctree.Sink, src geom.Point, te *tech.Tech, lib *cell.Library,
 			iters = iter + 2 // one final rebuild with the last trims
 		}
 	}
+
+	calSpan.Set("iters", calIters)
+	calSpan.Set("spread_ps", lastSpread*1e12)
+	calSpan.End()
 
 	// No post-hoc resizing: the cell choices above are exactly what the
 	// DME offsets and the delay model assumed; changing them here would

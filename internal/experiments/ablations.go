@@ -34,14 +34,14 @@ func A1OrderAblation(o Options) error {
 		if o.Quick {
 			spec.Sinks /= 4
 		}
-		_, tree, err := build(spec, te, lib)
+		_, tree, err := buildTr(spec, te, lib, o.Tracer)
 		if err != nil {
 			return err
 		}
 		for _, ord := range []core.Order{core.BySensitivity, core.ByIndex, core.ByReverse} {
 			t := tree.Clone()
 			core.AssignAll(t, te.BlanketRule)
-			stats, err := core.Optimize(t, te, lib, core.Config{Order: ord})
+			stats, err := core.Optimize(t, te, lib, core.Config{Order: ord, Tracer: o.Tracer})
 			if err != nil {
 				return err
 			}
@@ -64,7 +64,7 @@ func A2RepairAblation(o Options) error {
 	te := tech.Tech45()
 	lib := cell.Default45()
 	spec := figureSpec(o)
-	_, tree, err := build(spec, te, lib)
+	_, tree, err := buildTr(spec, te, lib, o.Tracer)
 	if err != nil {
 		return err
 	}
@@ -73,7 +73,7 @@ func A2RepairAblation(o Options) error {
 	for _, disable := range []bool{true, false} {
 		t := tree.Clone()
 		core.AssignAll(t, te.BlanketRule)
-		stats, err := core.Optimize(t, te, lib, core.Config{DisableRepair: disable})
+		stats, err := core.Optimize(t, te, lib, core.Config{DisableRepair: disable, Tracer: o.Tracer})
 		if err != nil {
 			return err
 		}
@@ -118,6 +118,7 @@ func A3ModelAblation(o Options) error {
 		res, err := cts.Build(bm.Sinks, bm.Src, te, lib, cts.Options{
 			LinearTopModel: cfg.linear,
 			NoCalibration:  cfg.noCal,
+			Tracer:         o.Tracer,
 		})
 		if err != nil {
 			return err

@@ -16,6 +16,7 @@ import (
 	"smartndr/internal/core"
 	"smartndr/internal/ctree"
 	"smartndr/internal/cts"
+	"smartndr/internal/obs"
 	"smartndr/internal/rctree"
 	"smartndr/internal/report"
 	"smartndr/internal/sio"
@@ -32,6 +33,9 @@ type Options struct {
 	// Quick trims workload sizes so the full suite runs in seconds —
 	// used by tests and the root benchmarks; the shapes are unchanged.
 	Quick bool
+	// Tracer, when non-nil, records a span per experiment plus the
+	// synthesis/optimization phases inside each. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 // Runner is one registered experiment.
@@ -73,12 +77,24 @@ func ByID(id string) (Runner, error) {
 // All runs the full suite.
 func All(o Options) error {
 	for _, r := range Registry() {
-		if err := r.Run(o); err != nil {
+		if err := RunOne(r, o); err != nil {
 			return fmt.Errorf("%s: %w", r.ID, err)
 		}
 		fmt.Fprintln(o.Out)
 	}
 	return nil
+}
+
+// RunOne runs one experiment under an "exp.<id>" span so the
+// timing table attributes wall time per experiment.
+func RunOne(r Runner, o Options) error {
+	sp := o.Tracer.Start("exp."+r.ID, obs.S("title", r.Title))
+	defer sp.End()
+	err := r.Run(o)
+	if err != nil {
+		sp.Set("error", err.Error())
+	}
+	return err
 }
 
 // suite returns the benchmark list for the options.
@@ -98,11 +114,16 @@ func suite(o Options) []workload.Spec {
 
 // build constructs the blanket tree for a spec.
 func build(spec workload.Spec, te *tech.Tech, lib *cell.Library) (*workload.Benchmark, *ctree.Tree, error) {
+	return buildTr(spec, te, lib, nil)
+}
+
+// buildTr is build with an optional tracer threaded into synthesis.
+func buildTr(spec workload.Spec, te *tech.Tech, lib *cell.Library, tr *obs.Tracer) (*workload.Benchmark, *ctree.Tree, error) {
 	bm, err := workload.Generate(spec)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := cts.Build(bm.Sinks, bm.Src, te, lib, cts.Options{})
+	res, err := cts.Build(bm.Sinks, bm.Src, te, lib, cts.Options{Tracer: tr})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -157,7 +178,7 @@ func T2MainComparison(o Options) error {
 		smart, blanket, def, topk []float64
 	}
 	for bi, spec := range suite(o) {
-		_, tree, err := build(spec, te, lib)
+		_, tree, err := buildTr(spec, te, lib, o.Tracer)
 		if err != nil {
 			return err
 		}
@@ -171,7 +192,7 @@ func T2MainComparison(o Options) error {
 			{"trunk", func(t *ctree.Tree) error { core.AssignTrunk(t, te); return nil }},
 			{"smart", func(t *ctree.Tree) error {
 				core.AssignAll(t, te.BlanketRule)
-				_, err := core.Optimize(t, te, lib, core.Config{})
+				_, err := core.Optimize(t, te, lib, core.Config{Tracer: o.Tracer})
 				return err
 			}},
 		}
@@ -250,14 +271,14 @@ func T3RuntimeScaling(o Options) error {
 			return err
 		}
 		t0 := time.Now()
-		res, err := cts.Build(bm.Sinks, bm.Src, te, lib, cts.Options{})
+		res, err := cts.Build(bm.Sinks, bm.Src, te, lib, cts.Options{Tracer: o.Tracer})
 		if err != nil {
 			return err
 		}
 		buildMS := time.Since(t0).Seconds() * 1e3
 		res.Tree.SetAllRules(te.BlanketRule)
 		t1 := time.Now()
-		if _, err := core.Optimize(res.Tree, te, lib, core.Config{}); err != nil {
+		if _, err := core.Optimize(res.Tree, te, lib, core.Config{Tracer: o.Tracer}); err != nil {
 			return err
 		}
 		optMS := time.Since(t1).Seconds() * 1e3

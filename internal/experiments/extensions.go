@@ -30,7 +30,7 @@ func T4MultiCorner(o Options) error {
 	if o.Quick {
 		spec.Sinks /= 4
 	}
-	_, tree, err := build(spec, te, lib)
+	_, tree, err := buildTr(spec, te, lib, o.Tracer)
 	if err != nil {
 		return err
 	}
@@ -45,7 +45,7 @@ func T4MultiCorner(o Options) error {
 			core.AssignAll(t, te.BlanketRule)
 		case "smart":
 			core.AssignAll(t, te.BlanketRule)
-			if _, err := core.Optimize(t, te, lib, core.Config{}); err != nil {
+			if _, err := core.Optimize(t, te, lib, core.Config{Tracer: o.Tracer}); err != nil {
 				return err
 			}
 		}
@@ -74,7 +74,7 @@ func T5ElectromigrationAudit(o Options) error {
 	te := tech.Tech45()
 	lib := cell.Default45()
 	spec := figureSpec(o)
-	_, tree, err := build(spec, te, lib)
+	_, tree, err := buildTr(spec, te, lib, o.Tracer)
 	if err != nil {
 		return err
 	}
@@ -91,7 +91,7 @@ func T5ElectromigrationAudit(o Options) error {
 			core.AssignAll(t, te.BlanketRule)
 		case "smart":
 			core.AssignAll(t, te.BlanketRule)
-			if _, err := core.Optimize(t, te, lib, core.Config{}); err != nil {
+			if _, err := core.Optimize(t, te, lib, core.Config{Tracer: o.Tracer}); err != nil {
 				return err
 			}
 		case "smart+EM":
@@ -100,7 +100,7 @@ func T5ElectromigrationAudit(o Options) error {
 			// clean by construction and no post-hoc upgrade churn occurs.
 			core.AssignAll(t, te.BlanketRule)
 			lim := l
-			if _, err := core.Optimize(t, te, lib, core.Config{EM: &lim}); err != nil {
+			if _, err := core.Optimize(t, te, lib, core.Config{EM: &lim, Tracer: o.Tracer}); err != nil {
 				return err
 			}
 		}
@@ -154,7 +154,7 @@ func A4OptimalityGap(o Options) error {
 				Cap: (1 + rng.Float64()) * 1e-15,
 			}
 		}
-		res, err := cts.Build(sinks, geom.Point{X: 150, Y: 150}, te, lib, cts.Options{})
+		res, err := cts.Build(sinks, geom.Point{X: 150, Y: 150}, te, lib, cts.Options{Tracer: o.Tracer})
 		if err != nil {
 			return err
 		}
@@ -169,7 +169,7 @@ func A4OptimalityGap(o Options) error {
 			continue
 		}
 		greedy := tree.Clone()
-		if _, err := core.Optimize(greedy, te, lib, core.Config{DisableRepair: true}); err != nil {
+		if _, err := core.Optimize(greedy, te, lib, core.Config{DisableRepair: true, Tracer: o.Tracer}); err != nil {
 			return err
 		}
 		an, err := sta.Analyze(greedy, te, lib, 40e-12)

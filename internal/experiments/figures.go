@@ -19,7 +19,7 @@ func F1SlewSweep(o Options) error {
 	te := tech.Tech45()
 	lib := cell.Default45()
 	spec := figureSpec(o)
-	_, tree, err := build(spec, te, lib)
+	_, tree, err := buildTr(spec, te, lib, o.Tracer)
 	if err != nil {
 		return err
 	}
@@ -45,7 +45,7 @@ func F1SlewSweep(o Options) error {
 	for _, lim := range limits {
 		t := tree.Clone()
 		core.AssignAll(t, te.BlanketRule)
-		stats, err := core.Optimize(t, te, lib, core.Config{MaxSlew: lim})
+		stats, err := core.Optimize(t, te, lib, core.Config{MaxSlew: lim, Tracer: o.Tracer})
 		if err != nil {
 			return err
 		}
@@ -85,12 +85,12 @@ func F2DepthProfile(o Options) error {
 	te := tech.Tech45()
 	lib := cell.Default45()
 	spec := figureSpec(o)
-	_, tree, err := build(spec, te, lib)
+	_, tree, err := buildTr(spec, te, lib, o.Tracer)
 	if err != nil {
 		return err
 	}
 	core.AssignAll(tree, te.BlanketRule)
-	if _, err := core.Optimize(tree, te, lib, core.Config{}); err != nil {
+	if _, err := core.Optimize(tree, te, lib, core.Config{Tracer: o.Tracer}); err != nil {
 		return err
 	}
 	levels := core.StageLevels(tree)
@@ -161,7 +161,7 @@ func F3Variation(o Options) error {
 	te := tech.Tech45()
 	lib := cell.Default45()
 	spec := figureSpec(o)
-	_, tree, err := build(spec, te, lib)
+	_, tree, err := buildTr(spec, te, lib, o.Tracer)
 	if err != nil {
 		return err
 	}
@@ -185,7 +185,7 @@ func F3Variation(o Options) error {
 			core.AssignTrunk(t, te)
 		case "smart":
 			core.AssignAll(t, te.BlanketRule)
-			if _, err := core.Optimize(t, te, lib, core.Config{}); err != nil {
+			if _, err := core.Optimize(t, te, lib, core.Config{Tracer: o.Tracer}); err != nil {
 				return err
 			}
 		}
@@ -193,7 +193,7 @@ func F3Variation(o Options) error {
 		if err != nil {
 			return err
 		}
-		st, err := variation.MonteCarlo(t, te, lib, p)
+		st, err := variation.MonteCarloTr(t, te, lib, p, o.Tracer)
 		if err != nil {
 			return err
 		}
@@ -220,7 +220,7 @@ func F4TopKSweep(o Options) error {
 	te := tech.Tech45()
 	lib := cell.Default45()
 	spec := figureSpec(o)
-	_, tree, err := build(spec, te, lib)
+	_, tree, err := buildTr(spec, te, lib, o.Tracer)
 	if err != nil {
 		return err
 	}
@@ -249,7 +249,7 @@ func F4TopKSweep(o Options) error {
 	}
 	t := tree.Clone()
 	core.AssignAll(t, te.BlanketRule)
-	if _, err := core.Optimize(t, te, lib, core.Config{}); err != nil {
+	if _, err := core.Optimize(t, te, lib, core.Config{Tracer: o.Tracer}); err != nil {
 		return err
 	}
 	m, _, err := core.Evaluate(t, te, lib, 40e-12)

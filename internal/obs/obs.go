@@ -1,0 +1,310 @@
+// Package obs provides structured, dependency-free instrumentation for
+// the smartndr flow: hierarchical timing spans, named counters and
+// gauges, and pluggable event sinks.
+//
+// The design goal is zero overhead when disabled: every method on
+// *Tracer, *Span, and *Registry is safe on a nil receiver and returns
+// immediately, so engine code can be threaded with tracing calls
+// unconditionally and pay only a nil check when no tracer is attached.
+// New returns nil for a nil (or no-op) sink, which makes the nil tracer
+// the canonical disabled form:
+//
+//	tr := obs.New(nil)          // disabled — every call below is free
+//	sp := tr.Start("optimize")  // nil span
+//	sp.Set("passes", 3)         // no-op
+//	sp.End()                    // no-op
+//
+// With a real sink, spans nest implicitly: Start on a tracer opens a
+// child of the innermost open span (context-style plumbing without a
+// context parameter), and End emits a SpanEvent carrying the full
+// slash-joined path, wall-clock duration, and attributes:
+//
+//	tr := obs.New(obs.NewJSONL(f))
+//	root := tr.Start("flow.apply", obs.S("scheme", "smart-ndr"))
+//	... // nested Start/End calls inside the engine
+//	root.End()
+//	tr.Close() // flush metrics, close the sink
+//
+// Counters and gauges accumulate in the tracer's Registry and are
+// emitted as a synthetic "metrics" span event on Close.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values should be strings,
+// integers, or floats so every sink can render them.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// S returns a string attribute.
+func S(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// I returns an integer attribute.
+func I(key string, value int) Attr { return Attr{Key: key, Value: value} }
+
+// F returns a float attribute.
+func F(key string, value float64) Attr { return Attr{Key: key, Value: value} }
+
+// Tracer owns a sink, a registry, and the stack of open spans. Create
+// one with New; a nil *Tracer is the disabled tracer and every method
+// no-ops on it.
+type Tracer struct {
+	mu    sync.Mutex
+	sink  Sink
+	start time.Time
+	stack []*Span
+	reg   Registry
+}
+
+// New returns a tracer emitting to the sink. A nil or no-op sink yields
+// a nil tracer, the zero-overhead disabled form.
+func New(sink Sink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	if _, nop := sink.(nopSink); nop {
+		return nil
+	}
+	return &Tracer{sink: sink, start: time.Now()}
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Start opens a span as a child of the innermost open span (or as a
+// root span when none is open).
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, name: name, start: time.Now()}
+	s.attrs = append(s.attrs, attrs...)
+	t.mu.Lock()
+	if n := len(t.stack); n > 0 {
+		parent := t.stack[n-1]
+		s.path = parent.path + "/" + name
+		s.depth = parent.depth + 1
+	} else {
+		s.path = name
+	}
+	t.stack = append(t.stack, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Add increments a named counter in the tracer's registry.
+func (t *Tracer) Add(name string, delta float64) {
+	if t == nil {
+		return
+	}
+	t.reg.Add(name, delta)
+}
+
+// Gauge sets a named gauge in the tracer's registry.
+func (t *Tracer) Gauge(name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.reg.Set(name, v)
+}
+
+// Registry returns the tracer's metric registry (nil for a nil tracer;
+// Registry methods are nil-safe).
+func (t *Tracer) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return &t.reg
+}
+
+// Close emits the registry snapshot as a synthetic "metrics" span event
+// (so JSONL streams stay homogeneous) and closes the sink.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	snap := t.reg.Snapshot()
+	if len(snap) > 0 {
+		attrs := make(map[string]any, len(snap))
+		for k, v := range snap {
+			attrs[k] = v
+		}
+		t.emit(SpanEvent{Span: "metrics", StartNS: time.Since(t.start).Nanoseconds(), Attrs: attrs})
+	}
+	return t.sink.Close()
+}
+
+func (t *Tracer) emit(ev SpanEvent) {
+	t.mu.Lock()
+	sink := t.sink
+	t.mu.Unlock()
+	sink.Emit(ev)
+}
+
+// Span is one timed region. Obtain spans from Tracer.Start; a nil *Span
+// ignores every call.
+type Span struct {
+	tr    *Tracer
+	name  string
+	path  string
+	depth int
+	start time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// Start opens a child span of s explicitly (regardless of the tracer's
+// implicit innermost-open-span nesting).
+func (s *Span) Start(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, path: s.path + "/" + name, depth: s.depth + 1, start: time.Now()}
+	c.attrs = append(c.attrs, attrs...)
+	t := s.tr
+	t.mu.Lock()
+	t.stack = append(t.stack, c)
+	t.mu.Unlock()
+	return c
+}
+
+// Set attaches (or overwrites) an attribute.
+func (s *Span) Set(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span and emits its event. Idempotent; spans opened
+// after this one that were never ended (error paths) are abandoned so
+// the tracer's nesting stack stays consistent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := attrMap(s.attrs)
+	s.mu.Unlock()
+
+	t := s.tr
+	t.mu.Lock()
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s {
+			t.stack = t.stack[:i]
+			break
+		}
+	}
+	t.mu.Unlock()
+	t.emit(SpanEvent{
+		Span:    s.path,
+		Depth:   s.depth,
+		StartNS: s.start.Sub(t.start).Nanoseconds(),
+		DurNS:   time.Since(s.start).Nanoseconds(),
+		Attrs:   attrs,
+	})
+}
+
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// Registry holds named counters and gauges. The zero value is ready to
+// use; a nil *Registry ignores every call.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]float64
+	gauges   map[string]float64
+}
+
+// Add increments counter name by delta (creating it at zero).
+func (r *Registry) Add(name string, delta float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.counters == nil {
+		r.counters = make(map[string]float64)
+	}
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Set sets gauge name to v.
+func (r *Registry) Set(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]float64)
+	}
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Counter returns the current value of a counter.
+func (r *Registry) Counter(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Snapshot returns all counters and gauges merged into one map.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	for k, v := range r.gauges {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the sorted metric names in the registry.
+func (r *Registry) Names() []string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -7,7 +7,10 @@ package report
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
+
+	"smartndr/internal/obs"
 )
 
 // Table accumulates rows and renders with per-column alignment.
@@ -97,6 +100,84 @@ func (t *Table) String() string {
 	var b strings.Builder
 	_ = t.Render(&b)
 	return b.String()
+}
+
+// TimingTable renders collected span events as a phase-breakdown table:
+// one row per distinct span path (indented by nesting depth, in
+// start-time order) with call count, total and mean wall time, and the
+// share of the run's wall clock. A final "wall clock" row holds the
+// span between the first start and the last end, so top-level rows can
+// be checked against it. The synthetic "metrics" event is skipped.
+func TimingTable(title string, events []obs.SpanEvent) *Table {
+	type agg struct {
+		path    string
+		depth   int
+		calls   int
+		totalNS int64
+		firstNS int64
+	}
+	var (
+		order    []*agg
+		byPath         = map[string]*agg{}
+		minStart int64 = 0
+		maxEnd   int64 = 0
+		seenAny        = false
+	)
+	evs := append([]obs.SpanEvent(nil), events...)
+	sort.SliceStable(evs, func(a, b int) bool { return evs[a].StartNS < evs[b].StartNS })
+	for _, ev := range evs {
+		if ev.Span == "metrics" && ev.DurNS == 0 {
+			continue
+		}
+		if !seenAny || ev.StartNS < minStart {
+			minStart = ev.StartNS
+		}
+		if end := ev.StartNS + ev.DurNS; !seenAny || end > maxEnd {
+			maxEnd = end
+		}
+		seenAny = true
+		a := byPath[ev.Span]
+		if a == nil {
+			a = &agg{path: ev.Span, depth: ev.Depth, firstNS: ev.StartNS}
+			byPath[ev.Span] = a
+			order = append(order, a)
+		}
+		a.calls++
+		a.totalNS += ev.DurNS
+	}
+	wallNS := maxEnd - minStart
+	tb := NewTable(title, "phase", "calls", "total (ms)", "avg (ms)", "% wall")
+	nameOf := func(a *agg) string {
+		name := a.path
+		if i := strings.LastIndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		return strings.Repeat("  ", a.depth) + name
+	}
+	nameW := 0
+	for _, a := range order {
+		if n := len(nameOf(a)); n > nameW {
+			nameW = n
+		}
+	}
+	for _, a := range order {
+		pct := "—"
+		if wallNS > 0 {
+			pct = fmt.Sprintf("%.1f%%", 100*float64(a.totalNS)/float64(wallNS))
+		}
+		// Left-pad-to-width keeps the tree indentation visible despite the
+		// table's right alignment.
+		tb.AddRow(fmt.Sprintf("%-*s", nameW, nameOf(a)),
+			fmt.Sprintf("%d", a.calls),
+			fmt.Sprintf("%.3f", float64(a.totalNS)/1e6),
+			fmt.Sprintf("%.3f", float64(a.totalNS)/1e6/float64(a.calls)),
+			pct)
+	}
+	if seenAny {
+		tb.AddRow(fmt.Sprintf("%-*s", nameW, "wall clock"), "",
+			fmt.Sprintf("%.3f", float64(wallNS)/1e6), "", "100.0%")
+	}
+	return tb
 }
 
 // Ps formats seconds as picoseconds with 2 decimals.

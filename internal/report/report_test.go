@@ -3,6 +3,8 @@ package report
 import (
 	"strings"
 	"testing"
+
+	"smartndr/internal/obs"
 )
 
 func TestTableRender(t *testing.T) {
@@ -60,6 +62,52 @@ func TestAddRowf(t *testing.T) {
 	}
 	if err := tb.AddRowf(3, 4); err == nil {
 		t.Error("non-string format must fail")
+	}
+}
+
+func TestTimingTable(t *testing.T) {
+	// A root span (0–10 ms) holding two "pass" calls (3 ms + 2 ms) plus
+	// the synthetic metrics event, delivered innermost-first as a real
+	// tracer would.
+	events := []obs.SpanEvent{
+		{Span: "run/pass", Depth: 1, StartNS: 1e6, DurNS: 3e6},
+		{Span: "run/pass", Depth: 1, StartNS: 5e6, DurNS: 2e6},
+		{Span: "run", Depth: 0, StartNS: 0, DurNS: 10e6},
+		{Span: "metrics", Depth: 0, StartNS: 10e6, DurNS: 0},
+	}
+	out := TimingTable("phases", events).String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title + header + sep + run + pass + wall clock
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if strings.Contains(out, "metrics") {
+		t.Errorf("synthetic metrics event must be skipped:\n%s", out)
+	}
+	// Rows come out in start-time order: run before pass.
+	runLine, passLine, wallLine := lines[3], lines[4], lines[5]
+	if !strings.Contains(runLine, "run") || !strings.Contains(runLine, "10.000") ||
+		!strings.Contains(runLine, "100.0%") {
+		t.Errorf("run row wrong: %q", runLine)
+	}
+	// Two pass calls aggregate: 2 calls, 5 ms total, 2.5 ms mean, 50%.
+	for _, want := range []string{"pass", "2", "5.000", "2.500", "50.0%"} {
+		if !strings.Contains(passLine, want) {
+			t.Errorf("pass row missing %q: %q", want, passLine)
+		}
+	}
+	// Indented one level deeper than run.
+	if strings.Index(passLine, "pass") <= strings.Index(runLine, "run") {
+		t.Errorf("pass not indented under run:\n%s", out)
+	}
+	if !strings.Contains(wallLine, "wall clock") || !strings.Contains(wallLine, "10.000") {
+		t.Errorf("wall-clock row wrong: %q", wallLine)
+	}
+}
+
+func TestTimingTableEmpty(t *testing.T) {
+	out := TimingTable("empty", nil).String()
+	if strings.Contains(out, "wall clock") {
+		t.Errorf("no events should render no wall-clock row:\n%s", out)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"smartndr/internal/cell"
 	"smartndr/internal/ctree"
+	"smartndr/internal/obs"
 	"smartndr/internal/rctree"
 	"smartndr/internal/tech"
 )
@@ -119,11 +120,19 @@ type Overrides struct {
 // arriving at the root buffer's input. The root node must carry a buffer
 // (the source driver); every other buffer must lie on a path below it.
 func Analyze(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64) (*Result, error) {
-	return AnalyzeOv(t, te, lib, inSlew, nil)
+	return AnalyzeTr(t, te, lib, inSlew, nil, nil)
 }
 
 // AnalyzeOv is Analyze with electrical overrides (see Overrides).
 func AnalyzeOv(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, ov *Overrides) (*Result, error) {
+	return AnalyzeTr(t, te, lib, inSlew, ov, nil)
+}
+
+// AnalyzeTr is AnalyzeOv with instrumentation: the run is split into an
+// "rc_build" span (parasitic extraction and load accumulation) and a
+// "propagate" span (the timing walk), so profiles show where analysis
+// time goes. A nil tracer adds no overhead.
+func AnalyzeTr(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, ov *Overrides, tr *obs.Tracer) (*Result, error) {
 	if t.Root == ctree.NoNode {
 		return nil, errors.New("sta: tree has no root")
 	}
@@ -133,6 +142,9 @@ func AnalyzeOv(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, 
 	if inSlew <= 0 {
 		return nil, fmt.Errorf("sta: non-positive input slew %g", inSlew)
 	}
+	sp := tr.Start("sta.analyze", obs.I("nodes", len(t.Nodes)))
+	defer sp.End()
+	rcSpan := tr.Start("rc_build")
 	n := len(t.Nodes)
 	res := &Result{
 		Arrival:  make([]float64, n),
@@ -208,9 +220,12 @@ func AnalyzeOv(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, 
 		}
 	})
 
+	rcSpan.End()
+
 	// Timing, one pre-order pass. elm[v] is the Elmore delay from the
 	// owning stage driver's output pin to v; stageOutArr/stageOutSlew are
 	// indexed by driver node.
+	propSpan := tr.Start("propagate")
 	elm := make([]float64, n)
 	stageOutArr := make(map[int]float64, len(res.StageCap))
 	stageOutSlew := make(map[int]float64, len(res.StageCap))
@@ -253,6 +268,7 @@ func AnalyzeOv(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, 
 		}
 	})
 	if fail != nil {
+		propSpan.End()
 		return nil, fail
 	}
 	for i := range t.Nodes {
@@ -261,6 +277,7 @@ func AnalyzeOv(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, 
 		}
 	}
 	res.DownCap = D
+	propSpan.End()
 	return res, nil
 }
 

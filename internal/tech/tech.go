@@ -65,7 +65,12 @@ func (l Layer) TrackPitch(rule RuleClass) float64 {
 
 // Tech is a complete technology description for the clock network.
 type Tech struct {
-	Name  string  `json:"name"`
+	Name string `json:"name"`
+	// Node is the process node class in nanometres (45, 65, ...). It
+	// keys default-library selection for custom technologies, so a
+	// 65 nm-class tech named anything gets the right buffer cells. Zero
+	// means unspecified; selection then falls back to name matching.
+	Node  int     `json:"node,omitempty"`
 	Vdd   float64 `json:"vdd"`   // V
 	Freq  float64 `json:"freq"`  // Hz, nominal clock frequency
 	Layer Layer   `json:"layer"` // clock routing layer
@@ -123,6 +128,8 @@ func (t *Tech) Validate() error {
 	switch {
 	case t.Name == "":
 		return errors.New("tech: empty name")
+	case t.Node < 0:
+		return fmt.Errorf("tech %s: negative node %d", t.Name, t.Node)
 	case t.Vdd <= 0:
 		return fmt.Errorf("tech %s: non-positive vdd %g", t.Name, t.Vdd)
 	case t.Freq <= 0:
@@ -186,6 +193,7 @@ func standardRules() []RuleClass {
 func Tech45() *Tech {
 	t := &Tech{
 		Name: "tech45",
+		Node: 45,
 		Vdd:  1.0,
 		Freq: 1.0e9,
 		Layer: Layer{
@@ -218,6 +226,7 @@ func Tech45() *Tech {
 func Tech65() *Tech {
 	t := &Tech{
 		Name: "tech65",
+		Node: 65,
 		Vdd:  1.1,
 		Freq: 750e6,
 		Layer: Layer{

@@ -143,6 +143,7 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		{"empty rule name", func(t *Tech) { t.Rules[2].Name = "" }},
 		{"sub-1 multiplier", func(t *Tech) { t.Rules[1].WMult = 0.5 }},
 		{"nan multiplier", func(t *Tech) { t.Rules[1].SMult = math.NaN() }},
+		{"negative node", func(t *Tech) { t.Node = -45 }},
 	}
 	for _, m := range mutations {
 		tt := Tech45()
@@ -150,6 +151,15 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		if err := tt.Validate(); err == nil {
 			t.Errorf("%s: Validate should fail", m.name)
 		}
+	}
+}
+
+func TestBuiltinsCarryNode(t *testing.T) {
+	if n := Tech45().Node; n != 45 {
+		t.Errorf("tech45 node = %d, want 45", n)
+	}
+	if n := Tech65().Node; n != 65 {
+		t.Errorf("tech65 node = %d, want 65", n)
 	}
 }
 

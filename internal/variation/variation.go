@@ -24,6 +24,7 @@ import (
 	"smartndr/internal/cell"
 	"smartndr/internal/ctree"
 	"smartndr/internal/geom"
+	"smartndr/internal/obs"
 	"smartndr/internal/sta"
 	"smartndr/internal/tech"
 )
@@ -153,10 +154,20 @@ func (f *field) at(p geom.Point) float64 {
 
 // MonteCarlo runs the analysis. The tree is not modified.
 func MonteCarlo(t *ctree.Tree, te *tech.Tech, lib *cell.Library, p Params) (*Stats, error) {
+	return MonteCarloTr(t, te, lib, p, nil)
+}
+
+// MonteCarloTr is MonteCarlo with instrumentation: each trial records a
+// span (so timing outliers are visible in a trace), and the run gauges
+// acceptance against the technology skew bound. A nil tracer adds no
+// overhead.
+func MonteCarloTr(t *ctree.Tree, te *tech.Tech, lib *cell.Library, p Params, tr *obs.Tracer) (*Stats, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	p = p.withDefaults()
+	sp := tr.Start("variation.montecarlo", obs.I("samples", p.Samples))
+	defer sp.End()
 	rng := rand.New(rand.NewSource(p.Seed))
 	bb := geom.NewEmptyBBox()
 	for i := range t.Nodes {
@@ -170,6 +181,7 @@ func MonteCarlo(t *ctree.Tree, te *tech.Tech, lib *cell.Library, p Params) (*Sta
 	white := math.Sqrt(1 - p.SpatialFrac)
 	st := &Stats{Samples: make([]Sample, 0, p.Samples)}
 	for s := 0; s < p.Samples; s++ {
+		tsp := tr.Start("trial", obs.I("trial", s))
 		fw := newField(rng, p.GridCells, bb) // width field
 		fb := newField(rng, p.GridCells, bb) // buffer field
 		for i := range t.Nodes {
@@ -200,13 +212,21 @@ func MonteCarlo(t *ctree.Tree, te *tech.Tech, lib *cell.Library, p Params) (*Sta
 			return nil, err
 		}
 		worst, _ := res.WorstSlew()
+		skew := res.Skew()
 		st.Samples = append(st.Samples, Sample{
-			Skew:      res.Skew(),
+			Skew:      skew,
 			WorstSlew: worst,
 			Insertion: res.MaxSinkArrival(),
 		})
+		tsp.Set("skew_ps", skew*1e12)
+		tsp.End()
+		tr.Add("mc.trials", 1)
 	}
 	st.finalize()
+	tr.Gauge("mc.mean_skew_ps", st.MeanSkew*1e12)
+	tr.Gauge("mc.p95_skew_ps", st.P95Skew*1e12)
+	tr.Gauge("mc.yield_at_bound", st.YieldAt(te.MaxSkew))
+	sp.Set("p95_skew_ps", st.P95Skew*1e12)
 	return st, nil
 }
 
