@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet fmt test race bench clean
+.PHONY: all build check vet fmt test race bench bench-json ci clean
 
 all: check
 
@@ -27,6 +27,18 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Machine-readable perf snapshot of the Monte Carlo worker-scaling and
+# flow benchmarks (see docs/performance.md). BENCH_PR2.json is committed
+# so perf regressions diff in review.
+bench-json:
+	$(GO) test -bench='MonteCarlo|Flow' -benchmem -run=^$$ . \
+		| $(GO) run ./internal/tools/bench2json -out BENCH_PR2.json
+	@echo wrote BENCH_PR2.json
+
+# What CI runs (.github/workflows/ci.yml): everything check does plus a
+# plain build and the full test suite.
+ci: build vet fmt test race
 
 clean:
 	$(GO) clean ./...

@@ -7,6 +7,7 @@ package smartndr
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"smartndr/internal/experiments"
@@ -130,14 +131,25 @@ func BenchmarkFlowSmartTraced(b *testing.B) {
 	benchFlowSmart(b, NewFlow(&FlowConfig{Tracer: NewTracer(col)}))
 }
 
-func BenchmarkMonteCarlo100(b *testing.B) {
+// Monte Carlo benchmarks: trial-scaling across worker counts plus the
+// allocation profile (run with -benchmem). Results are identical at any
+// worker count — the determinism test proves it — so these measure pure
+// throughput. BenchmarkMonteCarlo100 (the PR-1 name) is kept as the
+// 1-worker anchor for history.
+
+func benchMonteCarlo(b *testing.B, workers int) {
+	b.Helper()
 	sinks := benchSinks(b, 500)
 	flow := NewFlow(nil)
 	built, err := flow.Build(sinks, Point{X: 2000, Y: 1600})
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := VariationParams{WidthSigma: 0.004, BufSigma: 0.03, SpatialFrac: 0.6, Samples: 100, Seed: 3}
+	p := VariationParams{
+		WidthSigma: 0.004, BufSigma: 0.03, SpatialFrac: 0.6,
+		Samples: 100, Seed: 3, Workers: workers,
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := flow.MonteCarlo(built.Tree, p); err != nil {
@@ -145,3 +157,9 @@ func BenchmarkMonteCarlo100(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkMonteCarlo100(b *testing.B)      { benchMonteCarlo(b, 1) }
+func BenchmarkMonteCarlo1Workers(b *testing.B) { benchMonteCarlo(b, 1) }
+func BenchmarkMonteCarlo4Workers(b *testing.B) { benchMonteCarlo(b, 4) }
+func BenchmarkMonteCarlo8Workers(b *testing.B) { benchMonteCarlo(b, 8) }
+func BenchmarkMonteCarloNWorkers(b *testing.B) { benchMonteCarlo(b, runtime.GOMAXPROCS(0)) }

@@ -27,6 +27,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id to run, or 'all'")
 	data := flag.String("data", "", "directory for CSV series (optional)")
 	quick := flag.Bool("quick", false, "reduced workload sizes")
+	workers := flag.Int("workers", 0, "parallel workers inside experiments (0 = all cores); >1 also runs independent experiments concurrently — tables are identical at any count")
 	list := flag.Bool("list", false, "list experiments and exit")
 	traceFile := flag.String("trace", "", "write span events as JSON lines to this file")
 	timing := flag.Bool("timing", false, "print a phase-timing breakdown to stderr")
@@ -62,7 +63,7 @@ func main() {
 		}
 	}()
 
-	opt := experiments.Options{Out: os.Stdout, DataDir: *data, Quick: *quick, Tracer: tracer}
+	opt := experiments.Options{Out: os.Stdout, DataDir: *data, Quick: *quick, Tracer: tracer, Workers: *workers}
 	if *exp == "all" {
 		if err := experiments.All(opt); err != nil {
 			fatal(err)

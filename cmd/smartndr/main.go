@@ -39,6 +39,7 @@ func main() {
 	save := flag.String("save", "", "save the (last) scheme's tree as JSON")
 	svg := flag.String("svg", "", "render the (last) scheme's tree as SVG")
 	mc := flag.Bool("mc", false, "also run process-variation Monte Carlo")
+	workers := flag.Int("workers", 0, "parallel workers for Monte Carlo trials (0 = all cores; results are identical at any count)")
 	traceFile := flag.String("trace", "", "write span events as JSON lines to this file")
 	timing := flag.Bool("timing", false, "print a phase-timing breakdown to stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -59,7 +60,7 @@ func main() {
 		fatal(err)
 	}
 	flow := smartndr.NewFlow(&smartndr.FlowConfig{
-		Tech: te, Library: smartndr.DefaultLibraryFor(te), Tracer: tracer,
+		Tech: te, Library: smartndr.DefaultLibraryFor(te), Tracer: tracer, Workers: *workers,
 	})
 	root := tracer.Start("smartndr", obs.S("bench", bm.Spec.Name))
 	// Registered first so it runs after the deferred stats/MC prints:

@@ -124,6 +124,12 @@ type FlowConfig struct {
 	// Monte Carlo trials) and run counters. See internal/obs; construct
 	// with NewTracer and a sink. Nil disables instrumentation at no cost.
 	Tracer *Tracer
+	// Workers bounds parallel sections (currently Monte Carlo trials):
+	// 0 uses runtime.GOMAXPROCS(0), 1 forces serial execution. Results
+	// are bit-identical for every value — each Monte Carlo trial draws
+	// from an RNG substream derived from (Seed, trial index) alone. See
+	// docs/performance.md.
+	Workers int
 }
 
 // DefaultLibraryFor returns the built-in buffer library matching the
@@ -319,8 +325,12 @@ func (f *Flow) Timing(t *Tree) (*sta.Result, error) {
 	return sta.AnalyzeTr(t, f.cfg.Tech, f.cfg.Library, f.cfg.InSlew, nil, f.cfg.Tracer)
 }
 
-// MonteCarlo runs process-variation analysis on a tree.
+// MonteCarlo runs process-variation analysis on a tree. When the params
+// leave Workers at 0, the flow's configured Workers applies.
 func (f *Flow) MonteCarlo(t *Tree, p VariationParams) (*VariationStats, error) {
+	if p.Workers == 0 {
+		p.Workers = f.cfg.Workers
+	}
 	return variation.MonteCarloTr(t, f.cfg.Tech, f.cfg.Library, p, f.cfg.Tracer)
 }
 

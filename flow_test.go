@@ -410,3 +410,32 @@ func TestFlowRealizeSchedule(t *testing.T) {
 		t.Errorf("zero schedule should equal skew balance: %.2f ps", m.Skew*1e12)
 	}
 }
+
+func TestFlowMonteCarloWorkersInvariance(t *testing.T) {
+	// FlowConfig.Workers is a pure throughput knob: the Monte Carlo
+	// substream determinism makes results identical at any setting.
+	bm := smallBench(t, 120, 1500)
+	serial := NewFlow(&FlowConfig{Workers: 1})
+	parallel := NewFlow(&FlowConfig{Workers: 8})
+	built, err := serial.Build(bm.Sinks, bm.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := VariationParams{WidthSigma: 0.004, BufSigma: 0.03, SpatialFrac: 0.6, Samples: 30, Seed: 11}
+	a, err := serial.MonteCarlo(built.Tree, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.MonteCarlo(built.Tree, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs across worker counts", i)
+		}
+	}
+	if a.P95Skew != b.P95Skew || a.MeanSkew != b.MeanSkew {
+		t.Error("summary stats differ across worker counts")
+	}
+}

@@ -7,6 +7,8 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -17,6 +19,7 @@ import (
 	"smartndr/internal/ctree"
 	"smartndr/internal/cts"
 	"smartndr/internal/obs"
+	"smartndr/internal/par"
 	"smartndr/internal/rctree"
 	"smartndr/internal/report"
 	"smartndr/internal/sio"
@@ -36,6 +39,13 @@ type Options struct {
 	// Tracer, when non-nil, records a span per experiment plus the
 	// synthesis/optimization phases inside each. Nil disables tracing.
 	Tracer *obs.Tracer
+	// Workers bounds the parallel sections inside experiments (per-scheme,
+	// per-corner, and per-K evaluation, plus Monte Carlo trials): 0 uses
+	// GOMAXPROCS, 1 forces serial execution. Table contents and row order
+	// are identical for every value — parallel runs collect rows into
+	// index-addressed slices before rendering. Additionally, Workers > 1
+	// lets All run independent experiments concurrently.
+	Workers int
 }
 
 // Runner is one registered experiment.
@@ -74,11 +84,38 @@ func ByID(id string) (Runner, error) {
 	return Runner{}, fmt.Errorf("experiments: unknown id %q", id)
 }
 
-// All runs the full suite.
+// All runs the full suite. With Workers > 1, independent experiments run
+// concurrently: each renders into its own buffer and the buffers are
+// flushed in registry order, so stdout is identical to a serial run (up
+// to measured wall-clock values in T3). Experiments are independent by
+// construction — each builds its own technology, library, and trees.
 func All(o Options) error {
-	for _, r := range Registry() {
-		if err := RunOne(r, o); err != nil {
-			return fmt.Errorf("%s: %w", r.ID, err)
+	reg := Registry()
+	if o.Workers <= 1 {
+		for _, r := range reg {
+			if err := RunOne(r, o); err != nil {
+				return fmt.Errorf("%s: %w", r.ID, err)
+			}
+			fmt.Fprintln(o.Out)
+		}
+		return nil
+	}
+	bufs := make([]bytes.Buffer, len(reg))
+	errs := make([]error, len(reg))
+	// Errors are collected per experiment rather than cancelling the
+	// fan-out, so the output prefix before a failure matches serial runs.
+	_ = par.ForEach(context.Background(), o.Workers, len(reg), func(i int) error {
+		oi := o
+		oi.Out = &bufs[i]
+		errs[i] = RunOne(reg[i], oi)
+		return nil
+	})
+	for i, r := range reg {
+		if errs[i] != nil {
+			return fmt.Errorf("%s: %w", r.ID, errs[i])
+		}
+		if _, err := bufs[i].WriteTo(o.Out); err != nil {
+			return err
 		}
 		fmt.Fprintln(o.Out)
 	}
@@ -196,16 +233,27 @@ func T2MainComparison(o Options) error {
 				return err
 			}},
 		}
-		var blanketPower float64
-		for _, run := range runs {
+		// Schemes evaluate concurrently on private clones; metrics land in
+		// a slot per run so the rendered rows keep presentation order.
+		ms := make([]core.Metrics, len(runs))
+		err = par.ForEach(context.Background(), par.Workers(o.Workers), len(runs), func(ri int) error {
 			t := tree.Clone()
-			if err := run.apply(t); err != nil {
+			if err := runs[ri].apply(t); err != nil {
 				return err
 			}
 			m, _, err := core.Evaluate(t, te, lib, 40e-12)
 			if err != nil {
 				return err
 			}
+			ms[ri] = m
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		var blanketPower float64
+		for ri, run := range runs {
+			m := ms[ri]
 			p := m.Power.Total()
 			dp := "—"
 			if run.name == "blanket" {

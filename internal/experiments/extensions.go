@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -9,6 +10,7 @@ import (
 	"smartndr/internal/ctree"
 	"smartndr/internal/cts"
 	"smartndr/internal/geom"
+	"smartndr/internal/par"
 	"smartndr/internal/report"
 	"smartndr/internal/sta"
 	"smartndr/internal/tech"
@@ -36,9 +38,13 @@ func T4MultiCorner(o Options) error {
 	}
 	tb := report.NewTable("T4: three-corner signoff ("+spec.Name+")",
 		"scheme", "corner", "skew (ps)", "worst slew (ps)", "viol", "ins delay (ps)", "x-corner (ps)")
-	for _, sc := range []string{"all-default", "blanket", "smart"} {
+	schemes := []string{"all-default", "blanket", "smart"}
+	// Per-scheme signoff runs concurrently on private clones; the reports
+	// are slot-addressed so rows render in presentation order.
+	reps := make([]*core.MultiCornerReport, len(schemes))
+	err = par.ForEach(context.Background(), par.Workers(o.Workers), len(schemes), func(si int) error {
 		t := tree.Clone()
-		switch sc {
+		switch schemes[si] {
 		case "all-default":
 			core.AssignAll(t, te.DefaultRule)
 		case "blanket":
@@ -53,10 +59,17 @@ func T4MultiCorner(o Options) error {
 		if err != nil {
 			return err
 		}
-		for i, cm := range rep.Corners {
+		reps[si] = rep
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for si, sc := range schemes {
+		for i, cm := range reps[si].Corners {
 			cross := ""
 			if i == 0 {
-				cross = report.Ps(rep.CrossCornerSkew)
+				cross = report.Ps(reps[si].CrossCornerSkew)
 			}
 			tb.AddRow(sc, cm.Corner.Name, report.Ps(cm.Skew), report.Ps(cm.WorstSlew),
 				fmt.Sprintf("%d", cm.SlewViol), report.Ps(cm.MaxInsDel), cross)

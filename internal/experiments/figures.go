@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"smartndr/internal/cell"
 	"smartndr/internal/core"
+	"smartndr/internal/par"
 	"smartndr/internal/report"
 	"smartndr/internal/sio"
 	"smartndr/internal/tech"
@@ -166,6 +168,7 @@ func F3Variation(o Options) error {
 		return err
 	}
 	p := variation.Defaults(99)
+	p.Workers = o.Workers
 	if o.Quick {
 		p.Samples = 60
 	}
@@ -173,10 +176,19 @@ func F3Variation(o Options) error {
 		fmt.Sprintf("F3: skew under process variation (%s, %d samples, CD σ %.0f nm)",
 			spec.Name, p.Samples, p.WidthSigma*1e3),
 		"scheme", "nominal (ps)", "mean (ps)", "σ (ps)", "P95 (ps)", "max (ps)", "yield@bound")
-	var sigmas []float64
-	for _, sc := range []string{"all-default", "trunk", "smart", "blanket"} {
+	schemes := []string{"all-default", "trunk", "smart", "blanket"}
+	// Each scheme's assignment + Monte Carlo runs concurrently; rows are
+	// slot-addressed so the table order never depends on scheduling, and
+	// the Monte Carlo substream determinism makes the numbers themselves
+	// worker-count-independent.
+	type f3Out struct {
+		nominal float64
+		st      *variation.Stats
+	}
+	outs := make([]f3Out, len(schemes))
+	err = par.ForEach(context.Background(), par.Workers(o.Workers), len(schemes), func(si int) error {
 		t := tree.Clone()
-		switch sc {
+		switch schemes[si] {
 		case "all-default":
 			core.AssignAll(t, te.DefaultRule)
 		case "blanket":
@@ -197,7 +209,16 @@ func F3Variation(o Options) error {
 		if err != nil {
 			return err
 		}
-		tb.AddRow(sc, report.Ps(m.Skew), report.Ps(st.MeanSkew), report.Ps(st.StdSkew),
+		outs[si] = f3Out{nominal: m.Skew, st: st}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var sigmas []float64
+	for si, sc := range schemes {
+		st := outs[si].st
+		tb.AddRow(sc, report.Ps(outs[si].nominal), report.Ps(st.MeanSkew), report.Ps(st.StdSkew),
 			report.Ps(st.P95Skew), report.Ps(st.MaxSkew),
 			fmt.Sprintf("%.1f%%", st.YieldAt(2*te.MaxSkew)*100))
 		sigmas = append(sigmas, st.StdSkew)
@@ -228,34 +249,38 @@ func F4TopKSweep(o Options) error {
 	tb := report.NewTable(
 		fmt.Sprintf("F4: TopK sweep vs smart point (%s)", spec.Name),
 		"assignment", "power (mW)", "NDR len", "worst slew (ps)", "viol", "skew (ps)")
-	mc := variation.Defaults(123)
-	mc.Samples = 40
-	if o.Quick {
-		mc.Samples = 20
-	}
-	var ks, powers []float64
-	for k := 0; k <= maxLv; k++ {
+	// Items 0..maxLv are the K sweep; the last slot is the smart point.
+	ms := make([]core.Metrics, maxLv+2)
+	err = par.ForEach(context.Background(), par.Workers(o.Workers), len(ms), func(k int) error {
 		t := tree.Clone()
-		core.AssignTopLevels(t, te, k)
+		if k <= maxLv {
+			core.AssignTopLevels(t, te, k)
+		} else {
+			core.AssignAll(t, te.BlanketRule)
+			if _, err := core.Optimize(t, te, lib, core.Config{Tracer: o.Tracer}); err != nil {
+				return err
+			}
+		}
 		m, _, err := core.Evaluate(t, te, lib, 40e-12)
 		if err != nil {
 			return err
 		}
+		ms[k] = m
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var ks, powers []float64
+	for k := 0; k <= maxLv; k++ {
+		m := ms[k]
 		tb.AddRow(fmt.Sprintf("top-%d", k), report.MW(m.Power.Total()),
 			report.Pct(m.NDRFraction), report.Ps(m.WorstSlew),
 			fmt.Sprintf("%d", m.SlewViol), report.Ps(m.Skew))
 		ks = append(ks, float64(k))
 		powers = append(powers, m.Power.Total())
 	}
-	t := tree.Clone()
-	core.AssignAll(t, te.BlanketRule)
-	if _, err := core.Optimize(t, te, lib, core.Config{Tracer: o.Tracer}); err != nil {
-		return err
-	}
-	m, _, err := core.Evaluate(t, te, lib, 40e-12)
-	if err != nil {
-		return err
-	}
+	m := ms[maxLv+1]
 	tb.AddRow("smart", report.MW(m.Power.Total()), report.Pct(m.NDRFraction),
 		report.Ps(m.WorstSlew), fmt.Sprintf("%d", m.SlewViol), report.Ps(m.Skew))
 	if o.DataDir != "" {

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsWorkerCountInvariance: the restructured experiments
+// collect rows into index-addressed slices before rendering, so their
+// rendered tables must be byte-identical at any worker count. (T3 is
+// excluded everywhere it reports measured wall-clock milliseconds.)
+func TestExperimentsWorkerCountInvariance(t *testing.T) {
+	for _, id := range []string{"t2", "t4", "f3", "f4"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func(workers int) string {
+				var buf bytes.Buffer
+				if err := r.Run(Options{Out: &buf, Quick: true, Workers: workers}); err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return buf.String()
+			}
+			serial := render(1)
+			for _, workers := range []int{2, 8} {
+				if got := render(workers); got != serial {
+					t.Errorf("workers=%d output differs from serial:\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+						workers, serial, workers, got)
+				}
+			}
+		})
+	}
+}
+
+// TestAllParallel: the concurrent suite must produce every table, in
+// registry order, exactly as the serial suite frames them.
+func TestAllParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short")
+	}
+	var buf bytes.Buffer
+	if err := All(Options{Out: &buf, Quick: true, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	prev := -1
+	for _, r := range Registry() {
+		marker := strings.ToUpper(r.ID) + ":"
+		at := strings.Index(out, marker)
+		if at < 0 {
+			t.Errorf("parallel All output missing %s", marker)
+			continue
+		}
+		if at < prev {
+			t.Errorf("%s rendered out of registry order", marker)
+		}
+		prev = at
+	}
+}

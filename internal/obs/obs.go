@@ -176,6 +176,21 @@ func (s *Span) Start(name string, attrs ...Attr) *Span {
 	return c
 }
 
+// Child opens a child span of s without touching the tracer's ambient
+// span stack. This is the form to use for concurrent children — e.g.
+// Monte Carlo trials or parallel scheme evaluations fanned out across
+// goroutines: every child's path nests under s regardless of what other
+// goroutines open meanwhile, and later ambient Tracer.Start calls never
+// accidentally nest under it. End emits the event as usual.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, path: s.path + "/" + name, depth: s.depth + 1, start: time.Now()}
+	c.attrs = append(c.attrs, attrs...)
+	return c
+}
+
 // Set attaches (or overwrites) an attribute.
 func (s *Span) Set(key string, value any) {
 	if s == nil {

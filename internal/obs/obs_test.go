@@ -199,3 +199,51 @@ func TestRegistryConcurrent(t *testing.T) {
 		t.Errorf("names = %v", names)
 	}
 }
+
+func TestSpanChildConcurrent(t *testing.T) {
+	// Child spans bypass the ambient stack, so concurrent children of one
+	// parent all nest correctly and never capture later ambient starts.
+	col := NewCollector()
+	tr := New(col)
+	root := tr.Start("run")
+	var wg sync.WaitGroup
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := root.Child("trial", I("trial", i))
+			c.Set("ok", 1)
+			c.End()
+		}(i)
+	}
+	wg.Wait()
+	// An ambient start while children existed must still nest under the
+	// innermost *ambient* open span — the root, not any child.
+	next := tr.Start("report")
+	next.End()
+	root.End()
+	got := map[string]int{}
+	for _, ev := range col.Events() {
+		got[ev.Span]++
+	}
+	if got["run/trial"] != trials {
+		t.Errorf("run/trial events = %d, want %d", got["run/trial"], trials)
+	}
+	if got["run/report"] != 1 {
+		t.Errorf("run/report events = %d, want 1 (ambient nesting broken)", got["run/report"])
+	}
+	if got["run"] != 1 {
+		t.Errorf("run events = %d, want 1", got["run"])
+	}
+}
+
+func TestSpanChildNilSafe(t *testing.T) {
+	var s *Span
+	c := s.Child("x")
+	c.Set("k", 1)
+	c.End() // all no-ops
+	if c != nil {
+		t.Error("nil span's Child must be nil")
+	}
+}

@@ -1,0 +1,149 @@
+package sta_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"smartndr/internal/sta"
+
+	"smartndr/internal/cell"
+	"smartndr/internal/ctree"
+	"smartndr/internal/cts"
+	"smartndr/internal/geom"
+	"smartndr/internal/tech"
+)
+
+func synthTree(t testing.TB, n int, seed int64, te *tech.Tech, lib *cell.Library) *ctree.Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sinks := make([]ctree.Sink, n)
+	for i := range sinks {
+		sinks[i] = ctree.Sink{
+			Loc: geom.Point{X: rng.Float64() * 1500, Y: rng.Float64() * 1500},
+			Cap: (1 + rng.Float64()) * 1e-15,
+		}
+	}
+	res, err := cts.Build(sinks, geom.Point{X: 750, Y: 750}, te, lib, cts.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Tree
+}
+
+// TestAnalyzerMatchesAnalyze: repeated Analyzer calls — including across
+// different trees — must agree exactly with fresh one-shot Analyze.
+func TestAnalyzerMatchesAnalyze(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	trees := []*ctree.Tree{
+		synthTree(t, 60, 1, te, lib),
+		synthTree(t, 100, 2, te, lib), // bigger: buffers must grow
+		synthTree(t, 30, 3, te, lib),  // smaller: buffers must shrink cleanly
+	}
+	an := sta.NewAnalyzer(te, lib)
+	for round := 0; round < 2; round++ {
+		for ti, tree := range trees {
+			want, err := sta.Analyze(tree, te, lib, 40e-12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := an.Analyze(tree, 40e-12, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want.Arrival {
+				if got.Arrival[v] != want.Arrival[v] || got.Slew[v] != want.Slew[v] {
+					t.Fatalf("round %d tree %d node %d: reused analyzer diverges", round, ti, v)
+				}
+			}
+			if got.Skew() != want.Skew() || got.TotalSwitchedCap() != want.TotalSwitchedCap() {
+				t.Fatalf("round %d tree %d: summary diverges", round, ti)
+			}
+			if got.BufferCount != want.BufferCount || len(got.StageCap) != len(want.StageCap) {
+				t.Fatalf("round %d tree %d: stale inventory: %d bufs / %d stages, want %d / %d",
+					round, ti, got.BufferCount, len(got.StageCap), want.BufferCount, len(want.StageCap))
+			}
+			if got.MaxSinkArrival() != want.MaxSinkArrival() {
+				t.Fatalf("round %d tree %d: sink set stale", round, ti)
+			}
+		}
+	}
+}
+
+// TestAnalyzerWithOverrides: the override path must behave identically
+// through the reusing analyzer.
+func TestAnalyzerWithOverrides(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tree := synthTree(t, 50, 4, te, lib)
+	n := len(tree.Nodes)
+	scale := make([]float64, n)
+	for i := range scale {
+		scale[i] = 1.1
+	}
+	ov := &sta.Overrides{BufScale: scale}
+	want, err := sta.AnalyzeOv(tree, te, lib, 40e-12, ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := sta.NewAnalyzer(te, lib)
+	// A nominal call first, so stale override state would be detectable.
+	if _, err := an.Analyze(tree, 40e-12, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := an.Analyze(tree, 40e-12, ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxSinkArrival() != want.MaxSinkArrival() || got.Skew() != want.Skew() {
+		t.Error("override analysis diverges through the analyzer")
+	}
+	if got.MaxSinkArrival() <= 0 {
+		t.Error("implausible arrival")
+	}
+}
+
+// TestAnalyzerSteadyStateAllocs: after the first sizing call, repeated
+// analyses of the same tree must not allocate.
+func TestAnalyzerSteadyStateAllocs(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tree := synthTree(t, 80, 5, te, lib)
+	an := sta.NewAnalyzer(te, lib)
+	if _, err := an.Analyze(tree, 40e-12, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := an.Analyze(tree, 40e-12, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("steady-state Analyze allocates %.1f objects/run, want ≤ 2", allocs)
+	}
+}
+
+func TestAnalyzerErrors(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tree := synthTree(t, 20, 6, te, lib)
+	an := sta.NewAnalyzer(te, lib)
+	if _, err := an.Analyze(tree, 0, nil); err == nil {
+		t.Error("zero input slew must fail")
+	}
+	bad := tree.Clone()
+	bad.Nodes[1].Rule = 99
+	if _, err := an.Analyze(bad, 40e-12, nil); err == nil {
+		t.Error("out-of-range rule must fail")
+	}
+	// The analyzer must recover from an error and produce correct results.
+	got, err := an.Analyze(tree, 40e-12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := sta.Analyze(tree, te, lib, 40e-12)
+	if math.Abs(got.Skew()-want.Skew()) > 0 {
+		t.Error("post-error analysis diverges")
+	}
+}

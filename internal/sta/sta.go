@@ -132,7 +132,96 @@ func AnalyzeOv(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, 
 // "rc_build" span (parasitic extraction and load accumulation) and a
 // "propagate" span (the timing walk), so profiles show where analysis
 // time goes. A nil tracer adds no overhead.
+//
+// Every call allocates a fresh Result. Callers analyzing the same tree
+// repeatedly (Monte Carlo trials, optimizer inner loops) should hold an
+// Analyzer instead, which reuses all working storage.
 func AnalyzeTr(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, ov *Overrides, tr *obs.Tracer) (*Result, error) {
+	return NewAnalyzer(te, lib).analyze(t, inSlew, ov, tr)
+}
+
+// Analyzer runs repeated analyses without per-call allocation: the
+// working buffers and the Result itself are preallocated once and reused
+// on every Analyze call. An Analyzer is not safe for concurrent use —
+// give each worker goroutine its own.
+type Analyzer struct {
+	te  *tech.Tech
+	lib *cell.Library
+	res Result
+
+	edgeR, edgeC []float64 // per-edge parasitics under assigned rules
+	endCap       []float64 // L[v]: endpoint cap v presents to its stage
+	downCap      []float64 // D[v]: π-lumped cap at-and-below v in-stage
+	elm          []float64 // Elmore delay from stage driver output to v
+	drv          []int     // owning stage driver per node
+	// Stage driver outputs, indexed by driver node (written in startStage
+	// before any descendant reads them — no clearing needed).
+	stageOutArr, stageOutSlew []float64
+	// Traversal stacks, reused so the tree walks stay allocation-free
+	// (ctree's PostOrder/PreOrder allocate their stacks per call).
+	postStack []postFrame
+	preStack  []int
+}
+
+type postFrame struct {
+	node int
+	kid  int
+}
+
+// NewAnalyzer returns an analyzer for the technology and library. The
+// first Analyze call sizes the buffers; later calls on same-sized trees
+// are allocation-free.
+func NewAnalyzer(te *tech.Tech, lib *cell.Library) *Analyzer {
+	return &Analyzer{te: te, lib: lib}
+}
+
+// Analyze evaluates the tree, reusing the analyzer's storage. The
+// returned Result (including its DownCap slice and StageCap map) is
+// owned by the analyzer and overwritten by the next call — clone
+// whatever must outlive it.
+func (a *Analyzer) Analyze(t *ctree.Tree, inSlew float64, ov *Overrides) (*Result, error) {
+	return a.analyze(t, inSlew, ov, nil)
+}
+
+// resize readies the analyzer's buffers for an n-node tree.
+func (a *Analyzer) resize(n int) {
+	if cap(a.edgeR) < n {
+		a.edgeR = make([]float64, n)
+		a.edgeC = make([]float64, n)
+		a.endCap = make([]float64, n)
+		a.downCap = make([]float64, n)
+		a.elm = make([]float64, n)
+		a.drv = make([]int, n)
+		a.stageOutArr = make([]float64, n)
+		a.stageOutSlew = make([]float64, n)
+		a.res.Arrival = make([]float64, n)
+		a.res.Slew = make([]float64, n)
+	} else {
+		a.edgeR = a.edgeR[:n]
+		a.edgeC = a.edgeC[:n]
+		a.endCap = a.endCap[:n]
+		a.downCap = a.downCap[:n]
+		a.elm = a.elm[:n]
+		a.drv = a.drv[:n]
+		a.stageOutArr = a.stageOutArr[:n]
+		a.stageOutSlew = a.stageOutSlew[:n]
+		a.res.Arrival = a.res.Arrival[:n]
+		a.res.Slew = a.res.Slew[:n]
+	}
+	if a.res.StageCap == nil {
+		a.res.StageCap = make(map[int]float64)
+	} else {
+		clear(a.res.StageCap)
+	}
+	a.res.DownCap = nil
+	a.res.sinkNodes = a.res.sinkNodes[:0]
+	a.res.WireCap, a.res.SinkCap, a.res.BufInCap, a.res.BufIntCap = 0, 0, 0, 0
+	a.res.LeakageTot = 0
+	a.res.BufferCount = 0
+}
+
+func (a *Analyzer) analyze(t *ctree.Tree, inSlew float64, ov *Overrides, tr *obs.Tracer) (*Result, error) {
+	te, lib := a.te, a.lib
 	if t.Root == ctree.NoNode {
 		return nil, errors.New("sta: tree has no root")
 	}
@@ -146,18 +235,15 @@ func AnalyzeTr(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, 
 	defer sp.End()
 	rcSpan := tr.Start("rc_build")
 	n := len(t.Nodes)
-	res := &Result{
-		Arrival:  make([]float64, n),
-		Slew:     make([]float64, n),
-		StageCap: make(map[int]float64),
-	}
+	a.resize(n)
+	res := &a.res
 
 	// Per-edge parasitics under the assigned rules.
-	edgeR := make([]float64, n)
-	edgeC := make([]float64, n)
+	edgeR, edgeC := a.edgeR, a.edgeC
 	for i := range t.Nodes {
 		nd := &t.Nodes[i]
 		if nd.Parent == ctree.NoNode {
+			edgeR[i], edgeC[i] = 0, 0
 			continue
 		}
 		if nd.Rule < 0 || nd.Rule >= te.NumRules() {
@@ -179,10 +265,11 @@ func AnalyzeTr(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, 
 	// L[v]: endpoint cap v presents to its parent's stage.
 	// D[v]: π-model lumped cap at-and-below v within the stage owning v's
 	// feeding edge.
-	L := make([]float64, n)
-	D := make([]float64, n)
+	L := a.endCap
+	D := a.downCap
 	for i := range t.Nodes {
 		nd := &t.Nodes[i]
+		L[i] = 0
 		switch {
 		case nd.BufIdx != ctree.NoBuf:
 			b := &lib.Buffers[nd.BufIdx]
@@ -199,7 +286,27 @@ func AnalyzeTr(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, 
 			res.SinkCap += L[i]
 		}
 	}
-	t.PostOrder(func(v int) {
+	// Post-order walk (children before parents), inlined on the reusable
+	// stack — semantically identical to ctree.PostOrder.
+	post := append(a.postStack[:0], postFrame{t.Root, 0})
+	for len(post) > 0 {
+		f := &post[len(post)-1]
+		advanced := false
+		for f.kid < 2 {
+			k := t.Nodes[f.node].Kids[f.kid]
+			f.kid++
+			if k != ctree.NoNode {
+				post = append(post, postFrame{k, 0})
+				advanced = true
+				break
+			}
+		}
+		if advanced {
+			continue
+		}
+		v := f.node
+		post = post[:len(post)-1]
+
 		nd := &t.Nodes[v]
 		D[v] = L[v] + edgeC[v]/2
 		if nd.BufIdx != ctree.NoBuf {
@@ -211,14 +318,15 @@ func AnalyzeTr(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, 
 				}
 			}
 			res.StageCap[v] = load
-			return
+			continue
 		}
 		for _, k := range nd.Kids {
 			if k != ctree.NoNode {
 				D[v] += D[k] + edgeC[k]/2
 			}
 		}
-	})
+	}
+	a.postStack = post[:0]
 
 	rcSpan.End()
 
@@ -226,11 +334,10 @@ func AnalyzeTr(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, 
 	// owning stage driver's output pin to v; stageOutArr/stageOutSlew are
 	// indexed by driver node.
 	propSpan := tr.Start("propagate")
-	elm := make([]float64, n)
-	stageOutArr := make(map[int]float64, len(res.StageCap))
-	stageOutSlew := make(map[int]float64, len(res.StageCap))
-	drv := make([]int, n)
-	var fail error
+	elm := a.elm
+	stageOutArr := a.stageOutArr
+	stageOutSlew := a.stageOutSlew
+	drv := a.drv
 	startStage := func(v int) {
 		b := &lib.Buffers[t.Nodes[v].BufIdx]
 		load := res.StageCap[v]
@@ -243,11 +350,22 @@ func AnalyzeTr(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, 
 	}
 	res.Arrival[t.Root] = 0
 	res.Slew[t.Root] = inSlew
+	elm[t.Root] = 0
 	drv[t.Root] = t.Root
 	startStage(t.Root)
-	t.PreOrder(func(v int) {
-		if fail != nil || v == t.Root {
-			return
+	// Pre-order walk (parents before children), inlined on the reusable
+	// stack — semantically identical to ctree.PreOrder.
+	pre := append(a.preStack[:0], t.Root)
+	for len(pre) > 0 {
+		v := pre[len(pre)-1]
+		pre = pre[:len(pre)-1]
+		for _, k := range t.Nodes[v].Kids {
+			if k != ctree.NoNode {
+				pre = append(pre, k)
+			}
+		}
+		if v == t.Root {
+			continue
 		}
 		p := t.Nodes[v].Parent
 		var d int
@@ -266,11 +384,8 @@ func AnalyzeTr(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, 
 		if t.Nodes[v].BufIdx != ctree.NoBuf {
 			startStage(v)
 		}
-	})
-	if fail != nil {
-		propSpan.End()
-		return nil, fail
 	}
+	a.preStack = pre[:0]
 	for i := range t.Nodes {
 		if t.Nodes[i].SinkIdx != ctree.NoSink {
 			res.sinkNodes = append(res.sinkNodes, i)

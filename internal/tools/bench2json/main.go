@@ -1,0 +1,125 @@
+// Command bench2json converts `go test -bench -benchmem` text output on
+// stdin into a JSON benchmark report on stdout (or -out FILE). It exists
+// so `make bench-json` can persist perf trajectories (BENCH_PR2.json,
+// ...) in a machine-diffable form without external tooling.
+//
+// Input lines like
+//
+//	BenchmarkMonteCarlo4Workers-8   5   29671787 ns/op   723744 B/op   374 allocs/op
+//
+// become
+//
+//	{"name":"MonteCarlo4Workers","procs":8,"iterations":5,
+//	 "ns_per_op":29671787,"bytes_per_op":723744,"allocs_per_op":374}
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Package    string   `json:"package,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		// Expect: name iters ns "ns/op" [bytes "B/op" allocs "allocs/op"]
+		f := strings.Fields(line)
+		if len(f) < 4 || f[3] != "ns/op" {
+			continue
+		}
+		res := Result{Name: strings.TrimPrefix(f[0], "Benchmark")}
+		if dash := strings.LastIndex(res.Name, "-"); dash > 0 {
+			if p, err := strconv.Atoi(res.Name[dash+1:]); err == nil {
+				res.Procs = p
+				res.Name = res.Name[:dash]
+			}
+		}
+		var err error
+		if res.Iterations, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+			continue
+		}
+		if res.NsPerOp, err = strconv.ParseFloat(f[2], 64); err != nil {
+			continue
+		}
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseInt(f[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return rep, nil
+}

@@ -1,0 +1,29 @@
+package variation
+
+// Quantile returns the q-quantile (q in [0, 1]) of an ascending-sorted
+// sample by linear interpolation between closest ranks — the R-7 /
+// NumPy default estimator. Unlike the truncating index
+// sorted[int(q*(n-1))], it is unbiased on small samples: the 0.95
+// quantile of 20 points falls between the 19th and 20th order
+// statistics instead of snapping to the 19th.
+//
+// The slice must be sorted ascending; Quantile panics on an empty
+// slice. q is clamped to [0, 1].
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("variation: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	h := q * float64(len(sorted)-1)
+	lo := int(h)
+	frac := h - float64(lo)
+	if frac == 0 || lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}

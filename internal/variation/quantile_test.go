@@ -1,0 +1,67 @@
+package variation
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileSmallSamples(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{"single", []float64{3}, 0.95, 3},
+		{"single-median", []float64{3}, 0.5, 3},
+		{"pair-interpolates", []float64{1, 2}, 0.95, 1.95},
+		{"pair-median", []float64{1, 2}, 0.5, 1.5},
+		{"triple-median", []float64{1, 2, 3}, 0.5, 2},
+		{"q0", []float64{1, 2, 3}, 0, 1},
+		{"q1", []float64{1, 2, 3}, 1, 3},
+		{"clamp-low", []float64{1, 2}, -0.5, 1},
+		{"clamp-high", []float64{1, 2}, 1.5, 2},
+		{"exact-rank", []float64{10, 20, 30, 40, 50}, 0.25, 20},
+		{"between-ranks", []float64{10, 20, 30, 40, 50}, 0.95, 48},
+	}
+	for _, c := range cases {
+		if got := Quantile(c.sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Quantile(%v, %g) = %g, want %g", c.name, c.sorted, c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileUnbiasedVsTruncating(t *testing.T) {
+	// The old estimator sorted[int(0.95*(n-1))] snaps to the order
+	// statistic below; on 20 samples the interpolated P95 must land
+	// strictly between the 19th and 20th values.
+	s := make([]float64, 20)
+	for i := range s {
+		s[i] = float64(i)
+	}
+	got := Quantile(s, 0.95)
+	if got <= s[18] || got >= s[19] {
+		t.Errorf("P95 of 0..19 = %g, want in (18, 19)", got)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	s := []float64{1, 1, 2, 3, 5, 8, 13}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := Quantile(s, q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone at q=%g: %g < %g", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestQuantilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile of empty slice must panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}

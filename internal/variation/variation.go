@@ -15,6 +15,7 @@
 package variation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -25,6 +26,7 @@ import (
 	"smartndr/internal/ctree"
 	"smartndr/internal/geom"
 	"smartndr/internal/obs"
+	"smartndr/internal/par"
 	"smartndr/internal/sta"
 	"smartndr/internal/tech"
 )
@@ -47,6 +49,12 @@ type Params struct {
 	Seed int64
 	// InSlew is the root input transition, s (default 40 ps).
 	InSlew float64
+	// Workers bounds trial-level parallelism: 0 (or negative) uses
+	// runtime.GOMAXPROCS(0); 1 forces the serial path. The determinism
+	// contract: trial i draws from an independent RNG substream derived
+	// from (Seed, i) alone, so results are bit-identical for every
+	// Workers value — Workers is purely a throughput knob.
+	Workers int
 }
 
 func (p Params) withDefaults() Params {
@@ -114,10 +122,15 @@ type field struct {
 }
 
 func newField(rng *rand.Rand, cells int, bb geom.BBox) *field {
+	f := emptyField(cells, bb)
+	f.fill(rng)
+	return f
+}
+
+// emptyField allocates the grid without drawing values; fill redraws it
+// in place so per-trial scratch reuse skips the allocation.
+func emptyField(cells int, bb geom.BBox) *field {
 	f := &field{vals: make([]float64, (cells+1)*(cells+1)), cells: cells, bb: bb}
-	for i := range f.vals {
-		f.vals[i] = rng.NormFloat64()
-	}
 	w := bb.Width()
 	h := bb.Height()
 	if w <= 0 {
@@ -128,6 +141,13 @@ func newField(rng *rand.Rand, cells int, bb geom.BBox) *field {
 	}
 	f.invW, f.invH = 1/w, 1/h
 	return f
+}
+
+// fill redraws every grid value from rng.
+func (f *field) fill(rng *rand.Rand) {
+	for i := range f.vals {
+		f.vals[i] = rng.NormFloat64()
+	}
 }
 
 // at returns the field value at a die location.
@@ -153,75 +173,117 @@ func (f *field) at(p geom.Point) float64 {
 }
 
 // MonteCarlo runs the analysis. The tree is not modified.
+//
+// Determinism contract: trial i draws every random number from a
+// dedicated substream seeded by par.SubstreamSeed(p.Seed, i), so the
+// sample sequence depends only on the Params — not on Workers, core
+// count, or scheduling. Two runs with equal Params produce identical
+// Stats.
 func MonteCarlo(t *ctree.Tree, te *tech.Tech, lib *cell.Library, p Params) (*Stats, error) {
 	return MonteCarloTr(t, te, lib, p, nil)
+}
+
+// trialScratch is the per-worker reusable state: Gaussian fields, the
+// override buffers, the trial RNG, and an STA analyzer with preallocated
+// storage. One worker runs one trial at a time, so nothing here needs
+// locking.
+type trialScratch struct {
+	fw, fb *field // width and buffer spatial fields
+	ov     sta.Overrides
+	src    par.Source
+	rng    *rand.Rand
+	an     *sta.Analyzer
 }
 
 // MonteCarloTr is MonteCarlo with instrumentation: each trial records a
 // span (so timing outliers are visible in a trace), and the run gauges
 // acceptance against the technology skew bound. A nil tracer adds no
-// overhead.
+// overhead. Trial spans are attached to the run span explicitly — never
+// to the tracer's ambient span stack — so the span tree stays
+// well-formed when trials run on many goroutines.
 func MonteCarloTr(t *ctree.Tree, te *tech.Tech, lib *cell.Library, p Params, tr *obs.Tracer) (*Stats, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	p = p.withDefaults()
-	sp := tr.Start("variation.montecarlo", obs.I("samples", p.Samples))
+	workers := par.Workers(p.Workers)
+	sp := tr.Start("variation.montecarlo",
+		obs.I("samples", p.Samples), obs.I("workers", workers))
 	defer sp.End()
-	rng := rand.New(rand.NewSource(p.Seed))
 	bb := geom.NewEmptyBBox()
 	for i := range t.Nodes {
 		bb.Extend(t.Nodes[i].Loc)
 	}
 	n := len(t.Nodes)
-	edgeR := make([]float64, n)
-	edgeC := make([]float64, n)
-	bufScale := make([]float64, n)
 	spat := math.Sqrt(p.SpatialFrac)
 	white := math.Sqrt(1 - p.SpatialFrac)
-	st := &Stats{Samples: make([]Sample, 0, p.Samples)}
-	for s := 0; s < p.Samples; s++ {
-		tsp := tr.Start("trial", obs.I("trial", s))
-		fw := newField(rng, p.GridCells, bb) // width field
-		fb := newField(rng, p.GridCells, bb) // buffer field
+	if workers > p.Samples {
+		workers = p.Samples
+	}
+	scratch := make([]*trialScratch, workers)
+	samples := make([]Sample, p.Samples)
+	err := par.ForEachWorker(context.Background(), workers, p.Samples, func(w, s int) error {
+		sc := scratch[w]
+		if sc == nil {
+			sc = &trialScratch{
+				fw: emptyField(p.GridCells, bb),
+				fb: emptyField(p.GridCells, bb),
+				ov: sta.Overrides{
+					EdgeR:    make([]float64, n),
+					EdgeC:    make([]float64, n),
+					BufScale: make([]float64, n),
+				},
+				an: sta.NewAnalyzer(te, lib),
+			}
+			sc.rng = rand.New(&sc.src)
+			scratch[w] = sc
+		}
+		tsp := sp.Child("trial", obs.I("trial", s))
+		defer tsp.End() // must fire on error paths too — see TestMonteCarloSpanLeak
+		sc.src.Seed(par.SubstreamSeed(p.Seed, s))
+		rng := sc.rng
+		sc.fw.fill(rng)
+		sc.fb.fill(rng)
 		for i := range t.Nodes {
 			nd := &t.Nodes[i]
 			if nd.Parent == ctree.NoNode {
-				edgeR[i], edgeC[i] = 0, 0
+				sc.ov.EdgeR[i], sc.ov.EdgeC[i] = 0, 0
 			} else {
 				mid := geom.Midpoint(nd.Loc, t.Nodes[nd.Parent].Loc)
-				delta := p.WidthSigma * (spat*fw.at(mid) + white*rng.NormFloat64())
+				delta := p.WidthSigma * (spat*sc.fw.at(mid) + white*rng.NormFloat64())
 				rule := te.Rule(nd.Rule)
 				w := te.Layer.MinWidth * rule.WMult
 				if delta < -0.8*w {
 					delta = -0.8 * w // physical floor: wire cannot vanish
 				}
-				edgeR[i] = te.WireR(nd.EdgeLen, nd.Rule) * w / (w + delta)
-				edgeC[i] = te.WireC(nd.EdgeLen, nd.Rule) + te.Layer.CArea*delta*nd.EdgeLen
+				sc.ov.EdgeR[i] = te.WireR(nd.EdgeLen, nd.Rule) * w / (w + delta)
+				sc.ov.EdgeC[i] = te.WireC(nd.EdgeLen, nd.Rule) + te.Layer.CArea*delta*nd.EdgeLen
 			}
-			bufScale[i] = 1
+			sc.ov.BufScale[i] = 1
 			if nd.BufIdx != ctree.NoBuf {
-				g := spat*fb.at(nd.Loc) + white*rng.NormFloat64()
-				bufScale[i] = math.Max(0.5, 1+p.BufSigma*g)
+				g := spat*sc.fb.at(nd.Loc) + white*rng.NormFloat64()
+				sc.ov.BufScale[i] = math.Max(0.5, 1+p.BufSigma*g)
 			}
 		}
-		res, err := sta.AnalyzeOv(t, te, lib, p.InSlew, &sta.Overrides{
-			EdgeR: edgeR, EdgeC: edgeC, BufScale: bufScale,
-		})
+		res, err := sc.an.Analyze(t, p.InSlew, &sc.ov)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		worst, _ := res.WorstSlew()
 		skew := res.Skew()
-		st.Samples = append(st.Samples, Sample{
+		samples[s] = Sample{
 			Skew:      skew,
 			WorstSlew: worst,
 			Insertion: res.MaxSinkArrival(),
-		})
+		}
 		tsp.Set("skew_ps", skew*1e12)
-		tsp.End()
 		tr.Add("mc.trials", 1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	st := &Stats{Samples: samples}
 	st.finalize()
 	tr.Gauge("mc.mean_skew_ps", st.MeanSkew*1e12)
 	tr.Gauge("mc.p95_skew_ps", st.P95Skew*1e12)
@@ -253,7 +315,7 @@ func (st *Stats) finalize() {
 		st.StdSkew = math.Sqrt(v)
 	}
 	sort.Float64s(skews)
-	st.P95Skew = skews[int(0.95*float64(len(skews)-1))]
+	st.P95Skew = Quantile(skews, 0.95)
 }
 
 // YieldAt returns the fraction of samples whose skew is within the bound.
