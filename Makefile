@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet fmt test race bench bench-json ci clean
+.PHONY: all build check vet fmt test race bench bench-smoke bench-json ci clean
 
 all: check
 
@@ -28,17 +28,23 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-# Machine-readable perf snapshot of the Monte Carlo worker-scaling and
-# flow benchmarks (see docs/performance.md). BENCH_PR2.json is committed
-# so perf regressions diff in review.
+# One iteration of every benchmark in the repo — catches benchmarks that
+# no longer compile or crash, without paying for a measurement. CI runs
+# this step.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# Machine-readable perf snapshot of the Monte Carlo worker-scaling, flow,
+# and incremental-STA benchmarks (see docs/performance.md). BENCH_PR3.json
+# is committed so perf regressions diff in review.
 bench-json:
-	$(GO) test -bench='MonteCarlo|Flow' -benchmem -run=^$$ . \
-		| $(GO) run ./internal/tools/bench2json -out BENCH_PR2.json
-	@echo wrote BENCH_PR2.json
+	$(GO) test -bench='MonteCarlo|Flow|Optimize|RepairSkew' -benchmem -run=^$$ . ./internal/core \
+		| $(GO) run ./internal/tools/bench2json -out BENCH_PR3.json
+	@echo wrote BENCH_PR3.json
 
 # What CI runs (.github/workflows/ci.yml): everything check does plus a
-# plain build and the full test suite.
-ci: build vet fmt test race
+# plain build, the full test suite, and the benchmark smoke pass.
+ci: build vet fmt test race bench-smoke
 
 clean:
 	$(GO) clean ./...

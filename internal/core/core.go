@@ -88,6 +88,11 @@ type Config struct {
 	// width floors are computed up front and no edge is downgraded below
 	// its floor. Nil reproduces the slew/skew-only optimization.
 	EM *EMLimit
+	// DisableIncrementalSTA pins every timing query to a from-scratch
+	// analysis instead of the dirty-region update path. The two modes
+	// produce byte-identical results (the incremental engine is bitwise
+	// exact); this knob exists for A/B measurement and as a safety valve.
+	DisableIncrementalSTA bool
 	// Tracer, when non-nil, records per-phase spans and optimizer
 	// counters (downgrades, upgrades, repair rounds). Nil disables
 	// instrumentation at no cost.

@@ -61,10 +61,17 @@ func edgeRmsCurrent(downCap float64, te *tech.Tech, l EMLimit) float64 {
 // Returns the floor as a minimum *width multiplier* per edge; rule
 // legality is then a simple WMult comparison.
 func EMFloors(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, l EMLimit) ([]float64, error) {
+	return emFloors(sta.NewIncremental(te, lib), t, te, inSlew, l)
+}
+
+// emFloors is EMFloors against a caller-supplied timing engine: called
+// right after another analysis of the same tree state (as Optimize does
+// per pass), the timing query is served from cache.
+func emFloors(tim *sta.Incremental, t *ctree.Tree, te *tech.Tech, inSlew float64, l EMLimit) ([]float64, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := sta.Analyze(t, te, lib, inSlew)
+	res, err := tim.Analyze(t, inSlew)
 	if err != nil {
 		return nil, err
 	}
@@ -91,11 +98,12 @@ type EMViolation struct {
 // AuditEM lists every edge whose assigned rule is narrower than its EM
 // floor.
 func AuditEM(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, l EMLimit) ([]EMViolation, error) {
-	floors, err := EMFloors(t, te, lib, inSlew, l)
+	tim := sta.NewIncremental(te, lib)
+	floors, err := emFloors(tim, t, te, inSlew, l)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sta.Analyze(t, te, lib, inSlew)
+	res, err := tim.Analyze(t, inSlew) // cached: same tree state as the floors
 	if err != nil {
 		return nil, err
 	}

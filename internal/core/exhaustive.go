@@ -61,6 +61,11 @@ func ExhaustiveOptimal(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew, 
 	}
 	res := &ExhaustiveResult{BestCap: math.Inf(1)}
 
+	// One shared timing engine across the whole enumeration: consecutive
+	// complete assignments differ only in the deepest recursion levels, so
+	// each analysis is an incremental update over a handful of edges — the
+	// ideal workload for the dirty-region path.
+	tim := sta.NewIncremental(te, lib)
 	var rec func(idx int, partial float64)
 	rec = func(idx int, partial float64) {
 		if partial+minRemain[idx] >= res.BestCap {
@@ -68,7 +73,7 @@ func ExhaustiveOptimal(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew, 
 			return
 		}
 		if idx == len(edges) {
-			an, err := sta.Analyze(t, te, lib, inSlew)
+			an, err := tim.Analyze(t, inSlew)
 			if err != nil {
 				return
 			}
@@ -90,9 +95,11 @@ func ExhaustiveOptimal(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew, 
 		}
 		for _, ri := range byCap {
 			t.Nodes[edges[idx]].Rule = ri
+			tim.Touch(edges[idx])
 			rec(idx+1, partial+capOf(edges[idx], ri))
 		}
 		t.Nodes[edges[idx]].Rule = saved[edges[idx]]
+		tim.Touch(edges[idx])
 	}
 	rec(0, 0)
 

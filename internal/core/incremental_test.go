@@ -1,0 +1,256 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"smartndr/internal/cell"
+	"smartndr/internal/ctree"
+	"smartndr/internal/geom"
+	"smartndr/internal/obs"
+	"smartndr/internal/sta"
+	"smartndr/internal/tech"
+)
+
+// sameTree asserts two trees agree bitwise on every optimizer-visible
+// field (rules, edge lengths, buffers).
+func sameTree(t *testing.T, tag string, a, b *ctree.Tree) {
+	t.Helper()
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("%s: node counts differ", tag)
+	}
+	for i := range a.Nodes {
+		x, y := &a.Nodes[i], &b.Nodes[i]
+		if x.Rule != y.Rule || x.EdgeLen != y.EdgeLen || x.BufIdx != y.BufIdx {
+			t.Fatalf("%s: node %d diverges: rule %d/%d len %.17g/%.17g buf %d/%d",
+				tag, i, x.Rule, y.Rule, x.EdgeLen, y.EdgeLen, x.BufIdx, y.BufIdx)
+		}
+	}
+}
+
+// TestOptimizeIncrementalInvariance: the incremental-STA knob must not
+// change a single optimizer decision — Stats (including every per-pass
+// table) and the final tree are byte-identical with it on and off. This
+// is the strong form of the ≤1e-12 contract: the incremental engine is
+// bitwise exact, so the flows cannot diverge.
+func TestOptimizeIncrementalInvariance(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	em := DefaultEMLimit()
+	cases := []struct {
+		name string
+		n    int
+		seed int64
+		cfg  Config
+	}{
+		{"default", 200, 7, Config{}},
+		{"em", 150, 8, Config{EM: &em}},
+		{"no-repair", 150, 9, Config{DisableRepair: true}},
+		{"by-index", 120, 10, Config{Order: ByIndex}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := buildBlanket(t, tc.n, tc.seed, float64(tc.n)*10, te, lib)
+			incTree, fullTree := base.Clone(), base.Clone()
+
+			cfgInc := tc.cfg
+			stInc, err := Optimize(incTree, te, lib, cfgInc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgFull := tc.cfg
+			cfgFull.DisableIncrementalSTA = true
+			stFull, err := Optimize(fullTree, te, lib, cfgFull)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(stInc, stFull) {
+				t.Errorf("stats diverge:\nincremental: %+v\nfull:        %+v", stInc, stFull)
+			}
+			sameTree(t, tc.name, incTree, fullTree)
+		})
+	}
+}
+
+// optimizeVisits runs Optimize on a fresh copy of the benchmark testcase
+// and returns the STA node-visit count reported through the tracer.
+func optimizeVisits(t *testing.T, tree *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) float64 {
+	t.Helper()
+	tr := obs.New(obs.NewCollector())
+	cfg.Tracer = tr
+	if _, err := Optimize(tree, te, lib, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return tr.Registry().Counter("sta.node_visits")
+}
+
+// TestOptimizeNodeVisitReduction measures the headline number: STA node
+// visits per Optimize call on the benchmark testcase (the 300-sink tree
+// BenchmarkOptimize runs), incremental vs full analysis. The acceptance
+// bar is ≥5×.
+func TestOptimizeNodeVisitReduction(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	em := DefaultEMLimit()
+	cfg := Config{EM: &em}
+
+	base := buildBlanket(t, 300, 55, 3000, te, lib)
+	if _, err := RepairSkew(base, te, lib, 40e-12, te.MaxSkew, 30); err != nil {
+		t.Fatal(err)
+	}
+
+	full := cfg
+	full.DisableIncrementalSTA = true
+	fullVisits := optimizeVisits(t, base.Clone(), te, lib, full)
+	incVisits := optimizeVisits(t, base.Clone(), te, lib, cfg)
+	if fullVisits == 0 || incVisits == 0 {
+		t.Fatalf("missing visit counters: full=%v inc=%v", fullVisits, incVisits)
+	}
+	ratio := fullVisits / incVisits
+	t.Logf("STA node visits: full=%.0f incremental=%.0f reduction=%.2fx", fullVisits, incVisits, ratio)
+	if ratio < 5 {
+		t.Errorf("node-visit reduction %.2fx, want ≥5x", ratio)
+	}
+}
+
+// deepChain builds a pathological tree: a buffered root driving one
+// serial chain of n unbuffered nodes ending in a single sink.
+func deepChain(n int, te *tech.Tech) *ctree.Tree {
+	tr := ctree.NewTree([]ctree.Sink{{Name: "ff", Loc: geom.Point{X: float64(n), Y: 0}, Cap: 2e-15}}, geom.Point{})
+	prev := ctree.NoNode
+	for i := 0; i <= n; i++ {
+		nd := ctree.Node{
+			Parent:  prev,
+			Kids:    [2]int{ctree.NoNode, ctree.NoNode},
+			SinkIdx: ctree.NoSink,
+			Loc:     geom.Point{X: float64(i), Y: 0},
+			EdgeLen: 1,
+			Rule:    te.DefaultRule,
+			BufIdx:  ctree.NoBuf,
+		}
+		if i == 0 {
+			nd.EdgeLen = 0
+			nd.BufIdx = 0
+		}
+		if i == n {
+			nd.SinkIdx = 0
+		}
+		idx := tr.AddNode(nd)
+		if prev != ctree.NoNode {
+			tr.Nodes[prev].Kids[0] = idx
+		} else {
+			tr.Root = idx
+		}
+		prev = idx
+	}
+	return tr
+}
+
+// TestDeepChainTraversals: the explicit-stack DFS conversions must handle
+// degenerate serial chains that would grow one recursion frame per node.
+func TestDeepChainTraversals(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	const n = 150_000
+	tr := deepChain(n, te)
+
+	span := newSinkSpan(tr)
+	if len(span.node) != 1 {
+		t.Fatalf("chain has %d spanned sinks, want 1", len(span.node))
+	}
+	for v := range tr.Nodes {
+		if span.lo[v] != 0 || span.hi[v] != 1 {
+			t.Fatalf("node %d span [%d,%d), want [0,1)", v, span.lo[v], span.hi[v])
+		}
+	}
+
+	se := newStageEval(tr, te, lib, tr.Root)
+	if len(se.nodes) != n {
+		t.Fatalf("stage gathered %d nodes, want %d", len(se.nodes), n)
+	}
+	ends := 0
+	for _, e := range se.endpoint {
+		if e {
+			ends++
+		}
+	}
+	if ends != 1 {
+		t.Fatalf("stage has %d endpoints, want 1 (the sink)", ends)
+	}
+	st := se.eval(40e-12)
+	if st.worstSlew <= 0 || st.stageCap <= 0 {
+		t.Fatalf("implausible chain stage eval: %+v", st)
+	}
+
+	// The STA itself is already iterative; confirm it agrees with the
+	// stage-local view on the chain's load.
+	res, err := sta.Analyze(tr, te, lib, 40e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StageCap[tr.Root] != st.stageCap {
+		t.Errorf("stage cap %.17g vs STA %.17g", st.stageCap, res.StageCap[tr.Root])
+	}
+}
+
+// BenchmarkOptimize is the benchmark testcase for the incremental-STA
+// numbers in docs/performance.md: the 300-sink EM-aware optimization,
+// incremental path on (the default).
+func BenchmarkOptimize(b *testing.B) {
+	benchOptimize(b, false)
+}
+
+// BenchmarkOptimizeFullSTA is the same workload with every timing query
+// answered by a from-scratch analysis — the before/after baseline.
+func BenchmarkOptimizeFullSTA(b *testing.B) {
+	benchOptimize(b, true)
+}
+
+func benchOptimize(b *testing.B, disableInc bool) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	em := DefaultEMLimit()
+	base := buildBlanket(b, 300, 55, 3000, te, lib)
+	if _, err := RepairSkew(base, te, lib, 40e-12, te.MaxSkew, 30); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tr := base.Clone()
+		b.StartTimer()
+		cfg := Config{EM: &em, DisableIncrementalSTA: disableInc}
+		if _, err := Optimize(tr, te, lib, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepairSkew measures the skew-repair loop through the shared
+// incremental engine; BenchmarkRepairSkewFullSTA pins it to full analyses.
+func BenchmarkRepairSkew(b *testing.B) {
+	benchRepairSkew(b, false)
+}
+
+func BenchmarkRepairSkewFullSTA(b *testing.B) {
+	benchRepairSkew(b, true)
+}
+
+func benchRepairSkew(b *testing.B, disableInc bool) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	base := buildBlanket(b, 300, 55, 3000, te, lib)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tr := base.Clone()
+		tim := sta.NewIncremental(te, lib)
+		if disableInc {
+			tim.Disable()
+		}
+		b.StartTimer()
+		if _, err := repairToTargets(tim, tr, te, lib, 40e-12, nil, te.MaxSkew, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

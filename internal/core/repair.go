@@ -59,6 +59,14 @@ func RepairSkew(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew, targetS
 // the global skew. A clock scheduler derives targets from launch/capture
 // slacks; this routine realizes them with wire.
 func RepairToTargets(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, targets []float64, tol float64, maxIters int) (RepairStats, error) {
+	return repairToTargets(sta.NewIncremental(te, lib), t, te, lib, inSlew, targets, tol, maxIters)
+}
+
+// repairToTargets runs the repair loop against a caller-supplied timing
+// engine, so Optimize's repair rounds share one analyzer (and its
+// incremental state) with the rest of the run. Every edge edit — snakes
+// and rollback restores alike — is reported through tim.Touch.
+func repairToTargets(tim *sta.Incremental, t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, targets []float64, tol float64, maxIters int) (RepairStats, error) {
 	if tol <= 0 {
 		return RepairStats{}, fmt.Errorf("core: non-positive tolerance %g", tol)
 	}
@@ -99,7 +107,7 @@ func RepairToTargets(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew flo
 	snapshot := make([]float64, len(t.Nodes))
 	snapWire := 0.0
 	for it := 0; it < maxIters; it++ {
-		res, err := sta.Analyze(t, te, lib, inSlew)
+		res, err := tim.Analyze(t, inSlew)
 		if err != nil {
 			return st, err
 		}
@@ -117,14 +125,17 @@ func RepairToTargets(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew flo
 			// broke a transition the budget model missed: roll the last
 			// iteration back and try gentler corrections.
 			for i := range t.Nodes {
-				t.Nodes[i].EdgeLen = snapshot[i]
+				if t.Nodes[i].EdgeLen != snapshot[i] {
+					t.Nodes[i].EdgeLen = snapshot[i]
+					tim.Touch(i)
+				}
 			}
 			st.AddedWire = snapWire
 			damping /= 2
 			if damping < 0.05 {
 				break
 			}
-			res, err = sta.Analyze(t, te, lib, inSlew)
+			res, err = tim.Analyze(t, inSlew)
 			if err != nil {
 				return st, err
 			}
@@ -232,6 +243,7 @@ func RepairToTargets(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew flo
 				return
 			}
 			t.Nodes[v].EdgeLen += dl
+			tim.Touch(v)
 			st.AddedWire += dl
 			given[v] += delta
 			budgetSq[v] -= rctree.Ln9 * rctree.Ln9 * wireDelta * wireDelta
@@ -241,7 +253,7 @@ func RepairToTargets(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew flo
 			break // every lagging path is slew-blocked; give up
 		}
 	}
-	res, err := sta.Analyze(t, te, lib, inSlew)
+	res, err := tim.Analyze(t, inSlew)
 	if err != nil {
 		return st, err
 	}
@@ -250,7 +262,10 @@ func RepairToTargets(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew flo
 		// The last (unvetted) iteration made things worse: keep the best
 		// state instead.
 		for i := range t.Nodes {
-			t.Nodes[i].EdgeLen = snapshot[i]
+			if t.Nodes[i].EdgeLen != snapshot[i] {
+				t.Nodes[i].EdgeLen = snapshot[i]
+				tim.Touch(i)
+			}
 		}
 		st.AddedWire = snapWire
 		st.FinalSkew = prevSkew

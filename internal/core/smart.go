@@ -50,20 +50,37 @@ type sinkSpan struct {
 
 func newSinkSpan(t *ctree.Tree) *sinkSpan {
 	s := &sinkSpan{lo: make([]int, len(t.Nodes)), hi: make([]int, len(t.Nodes))}
-	var walk func(v int)
-	walk = func(v int) {
+	// Explicit-stack DFS: degenerate trees (tens of thousands of serial
+	// nodes) must not grow a recursion frame per node. A node is pushed
+	// twice — first visit assigns lo and expands kids, second (after the
+	// whole subtree) assigns hi.
+	type frame struct {
+		node int
+		exit bool
+	}
+	stack := []frame{{t.Root, false}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v := f.node
+		if f.exit {
+			s.hi[v] = len(s.node)
+			continue
+		}
 		s.lo[v] = len(s.node)
 		if t.Nodes[v].SinkIdx != ctree.NoSink {
 			s.node = append(s.node, v)
 		}
-		for _, k := range t.Nodes[v].Kids {
-			if k != ctree.NoNode {
-				walk(k)
+		stack = append(stack, frame{v, true})
+		// Push kids in reverse so they pop in natural order, preserving
+		// the recursive version's DFS sink numbering exactly.
+		kids := t.Nodes[v].Kids
+		for i := len(kids) - 1; i >= 0; i-- {
+			if kids[i] != ctree.NoNode {
+				stack = append(stack, frame{kids[i], false})
 			}
 		}
-		s.hi[v] = len(s.node)
 	}
-	walk(t.Root)
 	return s
 }
 
@@ -87,7 +104,15 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 	sp := tr.Start("core.optimize", obs.I("nodes", len(t.Nodes)))
 	defer sp.End()
 	stats := &Stats{}
-	res, err := sta.Analyze(t, te, lib, cfg.InSlew)
+	// One timing engine for the whole run: every analysis below shares its
+	// buffers, and with the incremental path enabled (the default) each
+	// query recomputes only the region the preceding edits dirtied. The
+	// two modes are bitwise identical, so the knob never changes a result.
+	tim := sta.NewIncremental(te, lib)
+	if cfg.DisableIncrementalSTA {
+		tim.Disable()
+	}
+	res, err := tim.Analyze(t, cfg.InSlew)
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +121,7 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 
 	if !cfg.DisableRepair {
 		rsp := tr.Start("init_repair")
-		rep, err := RepairSkew(t, te, lib, cfg.InSlew, cfg.MaxSkew, cfg.RepairIters)
+		rep, err := repairToTargets(tim, t, te, lib, cfg.InSlew, nil, cfg.MaxSkew, cfg.RepairIters)
 		if err != nil {
 			return nil, err
 		}
@@ -115,7 +140,7 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 
 	for pass := 0; pass < cfg.MaxPasses; pass++ {
 		psp := tr.Start("pass", obs.I("pass", pass))
-		res, err = sta.Analyze(t, te, lib, cfg.InSlew)
+		res, err = tim.Analyze(t, cfg.InSlew)
 		if err != nil {
 			return nil, err
 		}
@@ -125,7 +150,9 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 			// passes see the conservative (heavier-wire) floors, later
 			// passes relax them as downstream capacitance drops — the
 			// assignment converges to the floors of its own final state.
-			emFloor, err = EMFloors(t, te, lib, cfg.InSlew, *cfg.EM)
+			// Through the shared engine this analysis is free: nothing
+			// changed since the pass-top query, so it is served from cache.
+			emFloor, err = emFloors(tim, t, te, cfg.InSlew, *cfg.EM)
 			if err != nil {
 				return nil, err
 			}
@@ -183,6 +210,7 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 						continue
 					}
 					cur = cand
+					tim.Touch(v) // accepted: next analysis sees one dirty edge
 					changed++
 					stats.Downgrades++
 					break // cheapest passing rule wins
@@ -205,7 +233,7 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 	// that create violations), and a fresh call restarts its adaptive
 	// damping, so re-invoking it after upgrades keeps making progress.
 	rvsp := tr.Start("recover")
-	up0 := recoverViolations(t, te, lib, cfg, slewLimit, cfg.MaxSlew, byCap)
+	up0 := recoverViolations(tim, t, te, lib, cfg, slewLimit, cfg.MaxSlew, byCap)
 	stats.Upgrades += up0
 	stats.RecoverRounds++
 	rvsp.Set("upgrades", up0)
@@ -216,13 +244,13 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 		rounds := 0
 		for round := 0; round < 8; round++ {
 			rounds = round + 1
-			rep, err := RepairSkew(t, te, lib, cfg.InSlew, cfg.MaxSkew, cfg.RepairIters)
+			rep, err := repairToTargets(tim, t, te, lib, cfg.InSlew, nil, cfg.MaxSkew, cfg.RepairIters)
 			if err != nil {
 				return nil, err
 			}
 			stats.RepairWire += rep.AddedWire
 			stats.RepairRounds++
-			up := recoverViolations(t, te, lib, cfg, slewLimit, cfg.MaxSlew, byCap)
+			up := recoverViolations(tim, t, te, lib, cfg, slewLimit, cfg.MaxSlew, byCap)
 			stats.Upgrades += up
 			stats.RecoverRounds++
 			if rep.Converged && up == 0 {
@@ -232,7 +260,7 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 				// Stuck on skew with clean transitions: buy headroom on
 				// the tight stages and let the next repair use it.
 				headroom := 0.90 * cfg.MaxSlew
-				hr := recoverViolations(t, te, lib, cfg, headroom, headroom, byCap)
+				hr := recoverViolations(tim, t, te, lib, cfg, headroom, headroom, byCap)
 				stats.Upgrades += hr
 				stats.RecoverRounds++
 				if hr == 0 {
@@ -244,7 +272,7 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 		csp.Set("rounds", rounds)
 		csp.End()
 	}
-	res, err = sta.Analyze(t, te, lib, cfg.InSlew)
+	res, err = tim.Analyze(t, cfg.InSlew)
 	if err != nil {
 		return nil, err
 	}
@@ -264,6 +292,15 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 	tr.Add("core.downgrades", float64(stats.Downgrades))
 	tr.Add("core.upgrades", float64(stats.Upgrades))
 	tr.Add("core.repair_wire_um", stats.RepairWire)
+	// STA cost telemetry (see sta.IncStats for the visit metric). These go
+	// to the tracer, not Stats, so Stats stays byte-identical across the
+	// incremental on/off knob while the cost difference stays observable.
+	tst := tim.Stats()
+	tr.Add("sta.node_visits", float64(tst.NodeVisits))
+	tr.Add("sta.full_runs", float64(tst.FullRuns))
+	tr.Add("sta.inc_runs", float64(tst.IncRuns))
+	tr.Add("sta.cached_runs", float64(tst.CachedRuns))
+	tr.Add("sta.fallbacks", float64(tst.Fallbacks))
 	tr.Gauge("core.final_skew_ps", stats.FinalSkew*1e12)
 	tr.Gauge("core.final_slew_ps", stats.FinalSlew*1e12)
 	tr.Gauge("core.cap_saved_frac", 1-stats.CapAfter/stats.CapBefore)
@@ -274,13 +311,13 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 
 // recoverViolations upgrades rule classes and, when drive-limited, the
 // stage drivers of every stage violating the slew limit, iterating against
-// fresh full analyses until clean or stuck. Returns the upgrade count.
-// enforceLimit is the per-stage target upgrades aim for; exitLimit is the
-// global transition level that counts as "clean".
-func recoverViolations(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config, enforceLimit, exitLimit float64, byCap []int) int {
+// fresh analyses of the shared timing engine until clean or stuck. Returns
+// the upgrade count. enforceLimit is the per-stage target upgrades aim
+// for; exitLimit is the global transition level that counts as "clean".
+func recoverViolations(tim *sta.Incremental, t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config, enforceLimit, exitLimit float64, byCap []int) int {
 	total := 0
 	for round := 0; round < 5; round++ {
-		res, err := sta.Analyze(t, te, lib, cfg.InSlew)
+		res, err := tim.Analyze(t, cfg.InSlew)
 		if err != nil {
 			return total
 		}
@@ -297,7 +334,7 @@ func recoverViolations(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Conf
 			if se.eval(inSlew).worstSlew <= enforceLimit {
 				continue
 			}
-			fixed += se.upgradeUntilMet(inSlew, enforceLimit, byCap)
+			fixed += se.upgradeUntilMet(tim, inSlew, enforceLimit, byCap)
 			// Rule upgrades alone cannot fix a drive-limited stage: the
 			// transition is dominated by the driver's output slew at its
 			// load. Upsize the driver until the stage meets or the library
@@ -305,6 +342,7 @@ func recoverViolations(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Conf
 			for se.eval(inSlew).worstSlew > enforceLimit &&
 				t.Nodes[u].BufIdx < len(lib.Buffers)-1 {
 				t.Nodes[u].BufIdx++
+				tim.Touch(u)
 				fixed++
 			}
 		}
@@ -352,7 +390,9 @@ func (se *stageEval) candidateOrder(o Order, byCap []int) []int {
 // upgradeUntilMet strengthens stage edges (the change that improves the
 // stage's worst transition most, first) until the stage meets the slew
 // limit or no upgrade helps. Returns the number of upgrades applied.
-func (se *stageEval) upgradeUntilMet(inSlew, slewLimit float64, byCap []int) int {
+// Accepted edits are reported to tim; trial/revert probes are not (they
+// leave the tree unchanged).
+func (se *stageEval) upgradeUntilMet(tim *sta.Incremental, inSlew, slewLimit float64, byCap []int) int {
 	n := 0
 	for guard := 0; guard < len(se.nodes)*len(byCap)+1; guard++ {
 		base := se.eval(inSlew)
@@ -380,6 +420,7 @@ func (se *stageEval) upgradeUntilMet(inSlew, slewLimit float64, byCap []int) int
 			return n // nothing helps
 		}
 		se.t.Nodes[bestV].Rule = bestRule
+		tim.Touch(bestV)
 		n++
 	}
 	return n

@@ -46,22 +46,31 @@ type stageState struct {
 // newStageEval collects the stage rooted at the buffered node driver.
 func newStageEval(t *ctree.Tree, te *tech.Tech, lib *cell.Library, driver int) *stageEval {
 	se := &stageEval{t: t, te: te, lib: lib, driver: driver, local: make(map[int]int)}
-	var walk func(n int)
-	walk = func(n int) {
-		for _, k := range t.Nodes[n].Kids {
-			if k == ctree.NoNode {
-				continue
-			}
-			se.nodes = append(se.nodes, k)
-			se.local[k] = len(se.nodes)
-			end := t.Nodes[k].BufIdx != ctree.NoBuf || t.IsLeaf(k)
-			se.endpoint = append(se.endpoint, end)
-			if !end {
-				walk(k)
+	// Explicit-stack DFS (kids pushed in reverse so they pop in Kids
+	// order): same visit order as the recursive form, but safe on
+	// degenerate serial chains that would otherwise grow the stack one
+	// frame per node.
+	var stack []int
+	push := func(n int) {
+		kids := t.Nodes[n].Kids
+		for i := len(kids) - 1; i >= 0; i-- {
+			if kids[i] != ctree.NoNode {
+				stack = append(stack, kids[i])
 			}
 		}
 	}
-	walk(driver)
+	push(driver)
+	for len(stack) > 0 {
+		k := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		se.nodes = append(se.nodes, k)
+		se.local[k] = len(se.nodes)
+		end := t.Nodes[k].BufIdx != ctree.NoBuf || t.IsLeaf(k)
+		se.endpoint = append(se.endpoint, end)
+		if !end {
+			push(k)
+		}
+	}
 	se.down = make([]float64, len(se.nodes))
 	se.elm = make([]float64, len(se.nodes))
 	return se

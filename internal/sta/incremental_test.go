@@ -1,0 +1,294 @@
+package sta_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"smartndr/internal/cell"
+	"smartndr/internal/ctree"
+	"smartndr/internal/sta"
+	"smartndr/internal/tech"
+)
+
+// compareExact asserts two results agree bitwise — stronger than the
+// 1e-12 the incremental contract promises, and what the byte-identical
+// optimizer invariance relies on.
+func compareExact(t *testing.T, tag string, tree *ctree.Tree, got, want *sta.Result) {
+	t.Helper()
+	for v := range tree.Nodes {
+		if got.Arrival[v] != want.Arrival[v] {
+			t.Fatalf("%s: node %d arrival %.17g, want %.17g", tag, v, got.Arrival[v], want.Arrival[v])
+		}
+		if got.Slew[v] != want.Slew[v] {
+			t.Fatalf("%s: node %d slew %.17g, want %.17g", tag, v, got.Slew[v], want.Slew[v])
+		}
+		if got.DownCap[v] != want.DownCap[v] {
+			t.Fatalf("%s: node %d downcap %.17g, want %.17g", tag, v, got.DownCap[v], want.DownCap[v])
+		}
+	}
+	if len(got.StageCap) != len(want.StageCap) {
+		t.Fatalf("%s: %d stages, want %d", tag, len(got.StageCap), len(want.StageCap))
+	}
+	for d, w := range want.StageCap {
+		if got.StageCap[d] != w {
+			t.Fatalf("%s: StageCap[%d] %.17g, want %.17g", tag, d, got.StageCap[d], w)
+		}
+	}
+	if got.WireCap != want.WireCap || got.SinkCap != want.SinkCap ||
+		got.BufInCap != want.BufInCap || got.BufIntCap != want.BufIntCap ||
+		got.LeakageTot != want.LeakageTot || got.BufferCount != want.BufferCount {
+		t.Fatalf("%s: inventory diverges: wire %.17g/%.17g bufin %.17g/%.17g count %d/%d",
+			tag, got.WireCap, want.WireCap, got.BufInCap, want.BufInCap,
+			got.BufferCount, want.BufferCount)
+	}
+	if got.Skew() != want.Skew() || got.MaxSinkArrival() != want.MaxSinkArrival() {
+		t.Fatalf("%s: summary diverges", tag)
+	}
+}
+
+// mutate applies one random edit to the tree and reports it to inc.
+// Kind mix: rule changes and edge-length growth dominate (the optimizer's
+// edits), with occasional buffer resizes and revert pairs.
+func mutate(rng *rand.Rand, tree *ctree.Tree, te *tech.Tech, lib *cell.Library, inc *sta.Incremental) {
+	n := len(tree.Nodes)
+	for {
+		v := rng.Intn(n)
+		nd := &tree.Nodes[v]
+		switch k := rng.Intn(10); {
+		case k < 5: // rule change
+			if nd.Parent == ctree.NoNode {
+				continue
+			}
+			nd.Rule = rng.Intn(te.NumRules())
+			inc.Touch(v)
+		case k < 8: // edge-length growth (snaking)
+			if nd.Parent == ctree.NoNode {
+				continue
+			}
+			nd.EdgeLen += rng.Float64() * 40
+			inc.Touch(v)
+		case k < 9: // buffer resize (never add/remove)
+			if nd.BufIdx == ctree.NoBuf {
+				continue
+			}
+			nd.BufIdx = rng.Intn(len(lib.Buffers))
+			inc.Touch(v)
+		default: // touch-then-revert: must be a no-op
+			if nd.Parent == ctree.NoNode {
+				continue
+			}
+			old := nd.Rule
+			nd.Rule = rng.Intn(te.NumRules())
+			inc.Touch(v)
+			nd.Rule = old
+			inc.Touch(v)
+		}
+		return
+	}
+}
+
+// TestIncrementalDifferential is the correctness harness the tentpole
+// demands: randomized trees, randomized edit sequences, every incremental
+// Analyze compared bitwise against a from-scratch analysis of the same
+// tree state.
+func TestIncrementalDifferential(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	ref := sta.NewAnalyzer(te, lib)
+	for _, tc := range []struct {
+		sinks int
+		seed  int64
+	}{{25, 11}, {60, 12}, {120, 13}, {250, 14}} {
+		tree := synthTree(t, tc.sinks, tc.seed, te, lib)
+		rng := rand.New(rand.NewSource(tc.seed * 1000))
+		inc := sta.NewIncremental(te, lib)
+		for round := 0; round < 60; round++ {
+			// Edit batches from 0 (cached path) through localized (1–3)
+			// up to wide batches that should trip the fallback.
+			batch := 0
+			switch rng.Intn(8) {
+			case 0:
+				batch = 0
+			case 1, 2, 3, 4:
+				batch = 1 + rng.Intn(3)
+			case 5, 6:
+				batch = 4 + rng.Intn(12)
+			default:
+				batch = len(tree.Nodes) / 2
+			}
+			for i := 0; i < batch; i++ {
+				mutate(rng, tree, te, lib, inc)
+			}
+			got, err := inc.Analyze(tree, 40e-12)
+			if err != nil {
+				t.Fatalf("sinks=%d round=%d: %v", tc.sinks, round, err)
+			}
+			want, err := ref.Analyze(tree, 40e-12, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareExact(t, "differential", tree, got, want)
+		}
+		st := inc.Stats()
+		if st.IncRuns == 0 {
+			t.Errorf("sinks=%d: no incremental run committed (full=%d cached=%d fallback=%d)",
+				tc.sinks, st.FullRuns, st.CachedRuns, st.Fallbacks)
+		}
+		if st.CachedRuns == 0 {
+			t.Errorf("sinks=%d: cached path never exercised", tc.sinks)
+		}
+	}
+}
+
+// TestIncrementalCrossCheck runs the same randomized workload with the
+// debug cross-check mode on: any divergence surfaces as an Analyze error.
+func TestIncrementalCrossCheck(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tree := synthTree(t, 80, 21, te, lib)
+	rng := rand.New(rand.NewSource(2100))
+	inc := sta.NewIncremental(te, lib)
+	inc.SetCrossCheck(true)
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			mutate(rng, tree, te, lib, inc)
+		}
+		if _, err := inc.Analyze(tree, 40e-12); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if inc.Stats().IncRuns == 0 {
+		t.Error("cross-check workload never took the incremental path")
+	}
+}
+
+// TestIncrementalCachedRun: a zero-edit Analyze must be served from cache
+// and still be exact.
+func TestIncrementalCachedRun(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tree := synthTree(t, 50, 22, te, lib)
+	inc := sta.NewIncremental(te, lib)
+	if _, err := inc.Analyze(tree, 40e-12); err != nil {
+		t.Fatal(err)
+	}
+	v0 := inc.Stats().NodeVisits
+	got, err := inc.Analyze(tree, 40e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := inc.Stats()
+	if st.CachedRuns != 1 || st.NodeVisits != v0 {
+		t.Fatalf("zero-edit analyze not cached: %+v", st)
+	}
+	want, err := sta.Analyze(tree, te, lib, 40e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareExact(t, "cached", tree, got, want)
+}
+
+// TestIncrementalStructuralFallback: adding or removing a buffer changes
+// stage structure and must fall back to a full pass — and stay exact.
+func TestIncrementalStructuralFallback(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tree := synthTree(t, 60, 23, te, lib)
+	inc := sta.NewIncremental(te, lib)
+	if _, err := inc.Analyze(tree, 40e-12); err != nil {
+		t.Fatal(err)
+	}
+	// Promote a non-buffered internal node to a buffer.
+	target := -1
+	for v := range tree.Nodes {
+		if tree.Nodes[v].BufIdx == ctree.NoBuf && !tree.IsLeaf(v) && tree.Nodes[v].Parent != ctree.NoNode {
+			target = v
+			break
+		}
+	}
+	if target < 0 {
+		t.Skip("no promotable node in this tree")
+	}
+	tree.Nodes[target].BufIdx = 0
+	inc.Touch(target)
+	got, err := inc.Analyze(tree, 40e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Stats().Fallbacks != 1 {
+		t.Fatalf("structural edit did not fall back: %+v", inc.Stats())
+	}
+	want, err := sta.Analyze(tree, te, lib, 40e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareExact(t, "structural", tree, got, want)
+}
+
+// TestIncrementalInputSlewChange: a different input slew invalidates the
+// cache (full run), and localized edits afterwards are incremental again.
+func TestIncrementalInputSlewChange(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tree := synthTree(t, 60, 24, te, lib)
+	inc := sta.NewIncremental(te, lib)
+	if _, err := inc.Analyze(tree, 40e-12); err != nil {
+		t.Fatal(err)
+	}
+	got, err := inc.Analyze(tree, 55e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Stats().FullRuns != 2 {
+		t.Fatalf("slew change must force a full run: %+v", inc.Stats())
+	}
+	want, err := sta.Analyze(tree, te, lib, 55e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareExact(t, "slew-change", tree, got, want)
+}
+
+// TestIncrementalLocalizedEditVisits: one leaf-stage edit on a large tree
+// must cost a small fraction of a full pass's 2n visits.
+func TestIncrementalLocalizedEditVisits(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tree := synthTree(t, 500, 25, te, lib)
+	n := len(tree.Nodes)
+	inc := sta.NewIncremental(te, lib)
+	if _, err := inc.Analyze(tree, 40e-12); err != nil {
+		t.Fatal(err)
+	}
+	// Deepest sink's feeding edge: its stage has no stages below it.
+	deepest, bestDepth := -1, -1
+	depth := make([]int, n)
+	tree.PreOrder(func(v int) {
+		if p := tree.Nodes[v].Parent; p != ctree.NoNode {
+			depth[v] = depth[p] + 1
+		}
+		if tree.Nodes[v].SinkIdx != ctree.NoSink && depth[v] > bestDepth {
+			deepest, bestDepth = v, depth[v]
+		}
+	})
+	v0 := inc.Stats().NodeVisits
+	tree.Nodes[deepest].EdgeLen += 5
+	inc.Touch(deepest)
+	got, err := inc.Analyze(tree, 40e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := inc.Stats()
+	if st.IncRuns != 1 {
+		t.Fatalf("leaf edit did not take the incremental path: %+v", st)
+	}
+	cost := st.NodeVisits - v0
+	if cost > int64(2*n/5) {
+		t.Errorf("leaf-stage edit cost %d visits on a %d-node tree (full pass = %d)", cost, n, 2*n)
+	}
+	want, err := sta.Analyze(tree, te, lib, 40e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareExact(t, "localized", tree, got, want)
+}

@@ -157,6 +157,11 @@ type Analyzer struct {
 	// Stage driver outputs, indexed by driver node (written in startStage
 	// before any descendant reads them — no clearing needed).
 	stageOutArr, stageOutSlew []float64
+	// stageDelay[v] is the driver delay computed for buffered node v by the
+	// most recent analysis (before any BufScale override). The incremental
+	// engine reuses it to re-derive stageOutArr for stages whose input slew
+	// and load did not change, bitwise-identically to a fresh startStage.
+	stageDelay []float64
 	// Traversal stacks, reused so the tree walks stay allocation-free
 	// (ctree's PostOrder/PreOrder allocate their stacks per call).
 	postStack []postFrame
@@ -194,6 +199,7 @@ func (a *Analyzer) resize(n int) {
 		a.drv = make([]int, n)
 		a.stageOutArr = make([]float64, n)
 		a.stageOutSlew = make([]float64, n)
+		a.stageDelay = make([]float64, n)
 		a.res.Arrival = make([]float64, n)
 		a.res.Slew = make([]float64, n)
 	} else {
@@ -205,6 +211,7 @@ func (a *Analyzer) resize(n int) {
 		a.drv = a.drv[:n]
 		a.stageOutArr = a.stageOutArr[:n]
 		a.stageOutSlew = a.stageOutSlew[:n]
+		a.stageDelay = a.stageDelay[:n]
 		a.res.Arrival = a.res.Arrival[:n]
 		a.res.Slew = a.res.Slew[:n]
 	}
@@ -342,6 +349,7 @@ func (a *Analyzer) analyze(t *ctree.Tree, inSlew float64, ov *Overrides, tr *obs
 		b := &lib.Buffers[t.Nodes[v].BufIdx]
 		load := res.StageCap[v]
 		d := b.DelayAt(res.Slew[v], load)
+		a.stageDelay[v] = d
 		if ov != nil && ov.BufScale != nil {
 			d *= ov.BufScale[v]
 		}
