@@ -1,13 +1,19 @@
 GO ?= go
 
-.PHONY: all build check vet fmt test race bench bench-smoke bench-json ci clean
+# Third-party analyzers CI runs alongside the in-repo suite. Pinned here
+# (and mirrored in .github/workflows/ci.yml) because the module has no
+# tool dependencies — `go run pkg@version` fetches exactly this version.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+
+.PHONY: all build check vet fmt lint lint-extra test race bench bench-smoke bench-json ci clean
 
 all: check
 
 build:
 	$(GO) build ./...
 
-check: vet fmt race
+check: vet fmt lint race
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +24,17 @@ fmt:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# The repo's own analyzer suite (internal/analysis, docs/static-analysis.md):
+# maporder, seededrand, wallclock, spanhygiene, floatorder. Must exit clean.
+lint:
+	$(GO) run ./cmd/smartndrlint ./...
+
+# Third-party analyzers; needs network access to fetch the pinned tools,
+# so it is a separate target rather than part of `lint`.
+lint-extra:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 test:
 	$(GO) test ./...
@@ -43,8 +60,9 @@ bench-json:
 	@echo wrote BENCH_PR3.json
 
 # What CI runs (.github/workflows/ci.yml): everything check does plus a
-# plain build, the full test suite, and the benchmark smoke pass.
-ci: build vet fmt test race bench-smoke
+# plain build, the full test suite, and the benchmark smoke pass. CI also
+# runs lint-extra, which needs network access for the pinned tools.
+ci: build vet fmt lint test race bench-smoke
 
 clean:
 	$(GO) clean ./...

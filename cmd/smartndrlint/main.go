@@ -1,0 +1,80 @@
+// Command smartndrlint runs the repo's static-analysis suite
+// (internal/analysis) over the given packages: five analyzers that
+// enforce the determinism, tracing, and units contracts — maporder,
+// seededrand, wallclock, spanhygiene, floatorder. It exits nonzero
+// when any finding survives the //lint: annotations, so `make lint`
+// and CI gate on a clean tree. See docs/static-analysis.md.
+//
+// Usage:
+//
+//	smartndrlint [-run analyzer,analyzer] [-list] [packages]
+//
+// Packages default to ./... relative to the current directory, which
+// must be inside the module.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"smartndr/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("smartndrlint", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	list := fs.Bool("list", false, "print the analyzers and exit")
+	subset := fs.String("run", "", "comma-separated analyzer subset (default: all)")
+	dir := fs.String("C", ".", "directory to resolve package patterns from")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers, err := analysis.ByName(*subset)
+	if err != nil {
+		fmt.Fprintln(errw, err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := &analysis.Loader{Dir: *dir}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(errw, err)
+		return 2
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(errw, err)
+		return 2
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
+				name = rel
+			}
+		}
+		fmt.Fprintf(out, "%s:%d:%d: %s (%s)\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(errw, "smartndrlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListPrintsAllAnalyzers(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("-list exited %d, stderr: %s", code, errw.String())
+	}
+	for _, name := range []string{"maporder", "seededrand", "wallclock", "spanhygiene", "floatorder"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-run", "nosuch", "-list"}, &out, &errw); code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "nosuch") {
+		t.Errorf("stderr does not name the bad analyzer: %s", errw.String())
+	}
+}
+
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loading the full module closure is not short")
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-C", "../..", "./..."}, &out, &errw); code != 0 {
+		t.Fatalf("smartndrlint exited %d on the repo\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errw.String())
+	}
+}

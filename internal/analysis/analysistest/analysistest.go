@@ -1,0 +1,153 @@
+// Package analysistest runs an analyzer over golden packages under a
+// GOPATH-style testdata/src tree and checks its diagnostics against
+// `// want "regexp"` comments, mirroring the x/tools package of the
+// same name on the repo's stdlib-only analysis framework.
+//
+// A want comment applies to its own line; several quoted regexps may
+// follow one want. Every diagnostic must be wanted and every want must
+// be matched, so golden files pin both the positive and the negative
+// behavior of an analyzer. Because testdata/src is consulted before
+// `go list`, golden packages may import stub versions of the repo's own
+// packages (smartndr/internal/obs, smartndr/internal/par) under their
+// real import paths.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"smartndr/internal/analysis"
+)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run applies the analyzer to each golden package (import paths under
+// dir/src) and reports mismatches against the // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	moduleRoot, err := findModuleRoot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := &analysis.Loader{Dir: moduleRoot, Overlay: filepath.Join(dir, "src")}
+	for _, path := range pkgPaths {
+		pkg, err := loader.LoadOverlay(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		wants, err := parseWants(pkg)
+		if err != nil {
+			t.Fatalf("parsing want comments in %s: %v", path, err)
+		}
+		for _, d := range diags {
+			if !claim(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic at %s:%d: %s",
+					a.Name, filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.hit {
+				t.Errorf("%s: missing diagnostic at %s:%d matching %q",
+					a.Name, filepath.Base(w.file), w.line, w.re)
+			}
+		}
+	}
+}
+
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+func parseWants(pkg *analysis.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range splitQuoted(m[1]) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %s: %w", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %s: %w", pos.Filename, pos.Line, q, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted extracts the double-quoted segments of a want payload:
+// `"a" "b"` → ["a", "b"] (quotes kept for strconv.Unquote).
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		j := i + 1
+		for j < len(s) {
+			if s[j] == '\\' {
+				j += 2
+				continue
+			}
+			if s[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(s) {
+			return out
+		}
+		out = append(out, s[i:j+1])
+		s = s[j+1:]
+	}
+}
+
+func findModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("analysistest: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

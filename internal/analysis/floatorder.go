@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floatorder flags compound float assignments (+=, -=, *=, /=) inside
+// par.ForEach / par.ForEachWorker worker closures when the target is
+// captured from outside the closure. Floating-point addition is not
+// associative, and workers pull items from a shared counter in
+// scheduling order — so `sum += x` across items (or even into a
+// per-worker slot, since the worker↔item mapping is nondeterministic)
+// silently breaks the bit-identical-at-any-worker-count contract that
+// PR 2's Monte Carlo stats rely on. The fix is the par design rule:
+// write per-item results into slot i of a preallocated slice, reduce
+// serially after the fan-out. Suppress a provably-safe case with
+// //lint:allow floatorder.
+var Floatorder = &Analyzer{
+	Name: "floatorder",
+	Doc:  "flags shared float accumulation inside par worker closures",
+	Run:  runFloatorder,
+}
+
+func runFloatorder(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, fn := pkgFunc(pass.Info, call)
+			if pathBase(pkg) != "par" || (fn != "ForEach" && fn != "ForEachWorker") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					checkWorkerClosure(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+var compoundOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true,
+	token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true,
+}
+
+func checkWorkerClosure(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || !compoundOps[asg.Tok] || len(asg.Lhs) != 1 {
+			return true
+		}
+		lhs := asg.Lhs[0]
+		if !isFloat(pass.Info.Types[lhs].Type) {
+			return true
+		}
+		base := baseIdent(lhs)
+		if base == nil {
+			return true
+		}
+		obj := objOf(pass, base)
+		if obj == nil || !obj.Pos().IsValid() {
+			return true
+		}
+		// Captured: declared outside the worker closure's extent.
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		pass.Reportf(asg.Pos(),
+			"float accumulation into captured %s inside a par worker closure depends on scheduling order; write per-item results into an index-addressed slot and reduce after the fan-out",
+			types.ExprString(lhs))
+		return true
+	})
+}
+
+// baseIdent unwraps index/selector/star/paren chains to the root
+// identifier: s.field, xs[i], (*p).f → s, xs, p.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// maporderScope names the result-producing packages (by final import
+// path element) where map iteration order can leak into tables, CSVs,
+// stats, or optimization decisions. Matching on the last element keeps
+// the rule portable between the real tree (smartndr/internal/core) and
+// analysistest golden packages (maporder/core).
+var maporderScope = map[string]bool{
+	"core":        true,
+	"sta":         true,
+	"report":      true,
+	"experiments": true,
+	"variation":   true,
+}
+
+// Maporder flags `range` over a map in a result-producing package: Go
+// randomizes map iteration order, so any output or state mutation that
+// depends on visit order silently breaks the repo's bit-identical-runs
+// contract. Two escapes exist: iterate sorted keys (the
+// collect-then-sort idiom is recognized), or annotate the range with
+// //lint:commutative plus a justification when every iteration is
+// provably independent of the others.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags nondeterministic map iteration in result-producing packages",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *Pass) error {
+	if !maporderScope[pathBase(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.HasDirective(rs.Pos(), "commutative") {
+				return true
+			}
+			if isSortedKeyCollection(pass, file, rs) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s: iteration order is nondeterministic in a result-producing package; iterate sorted keys or annotate //lint:commutative with a justification",
+				types.ExprString(rs.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// isSortedKeyCollection recognizes the benign collect-then-sort idiom:
+// the loop body is exactly `keys = append(keys, k)` for the range key,
+// and the same keys slice is later passed to a sort call. Object
+// identity ties the append target to the sort argument, so shadowed
+// variables do not fool the check.
+func isSortedKeyCollection(pass *Pass, file *ast.File, rs *ast.RangeStmt) bool {
+	if rs.Body == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	keyID, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	appended, ok := call.Args[1].(*ast.Ident)
+	if !ok || objOf(pass, appended) == nil || objOf(pass, appended) != objOf(pass, keyID) {
+		return false
+	}
+	dstObj := objOf(pass, dst)
+	if dstObj == nil {
+		return false
+	}
+	// A later sort call on the same slice object blesses the loop.
+	sorted := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		pkg, fn := pkgFunc(pass.Info, call)
+		isSort := pkg == "sort" && (fn == "Strings" || fn == "Ints" || fn == "Float64s" ||
+			fn == "Slice" || fn == "SliceStable" || fn == "Sort" || fn == "Stable")
+		isSlices := pkg == "slices" && (fn == "Sort" || fn == "SortFunc" || fn == "SortStableFunc")
+		if !isSort && !isSlices {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok && objOf(pass, arg) == dstObj {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}
+
+// objOf resolves an identifier to its object via either use or def.
+func objOf(pass *Pass, id *ast.Ident) types.Object {
+	if o := pass.Info.Uses[id]; o != nil {
+		return o
+	}
+	return pass.Info.Defs[id]
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import "go/ast"
+
+// randGlobals lists the math/rand (and math/rand/v2) top-level
+// functions that draw from the package-global generator. v1's global
+// source is shared mutable state (order-dependent under concurrency
+// even when seeded); v2's is auto-seeded and unconditionally
+// nondeterministic. Constructors (New, NewSource, NewPCG, ...) stay
+// legal: the repo's contract is explicit per-stream seeding via
+// par.SubstreamSeed, not a ban on math/rand itself.
+var randGlobals = map[string]map[string]bool{
+	"math/rand": set("Seed", "Int", "Intn", "Int31", "Int31n", "Int63", "Int63n",
+		"Uint32", "Uint64", "Float32", "Float64", "NormFloat64", "ExpFloat64",
+		"Perm", "Shuffle", "Read"),
+	"math/rand/v2": set("Int", "IntN", "Int32", "Int32N", "Int64", "Int64N",
+		"Uint", "UintN", "Uint32", "Uint32N", "Uint64", "Uint64N",
+		"Float32", "Float64", "NormFloat64", "ExpFloat64", "Perm", "Shuffle", "N"),
+}
+
+func set(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// Seededrand forbids the math/rand global-state functions everywhere
+// except internal/par (the substream layer itself): randomness must
+// flow from an explicit seed through rand.New / par.Source so that a
+// trial's stream depends only on (seed, index), never on call order,
+// goroutine interleaving, or process start time.
+var Seededrand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "forbids math/rand global-state functions outside internal/par",
+	Run:  runSeededrand,
+}
+
+func runSeededrand(pass *Pass) error {
+	if pathBase(pass.Pkg.Path()) == "par" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, fn := pkgFunc(pass.Info, call)
+			if randGlobals[pkg][fn] {
+				name := pathBase(pkg)
+				if name == "v2" {
+					name = "rand/v2"
+				}
+				pass.Reportf(call.Pos(),
+					"%s.%s draws from the package-global random source; seed an explicit source (rand.New with par.SubstreamSeed, or par.Source) so results are reproducible",
+					name, fn)
+			}
+			return true
+		})
+	}
+	return nil
+}

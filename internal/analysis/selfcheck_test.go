@@ -1,0 +1,58 @@
+package analysis_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smartndr/internal/analysis"
+)
+
+// TestRepoIsLintClean runs all five analyzers over the whole module and
+// asserts zero diagnostics — the repo must stay clean so that `make
+// lint` (and CI) only ever fails on a genuine regression.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loading the full module closure is not short")
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := &analysis.Loader{Dir: root}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded from module root")
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if t.Failed() {
+		t.Log("fix the findings above or annotate them (//lint:commutative, //lint:allow <analyzer>) with a justification")
+	}
+}
+
+func moduleRoot() (string, error) {
+	d, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above the test working directory")
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,79 @@
+// Package a is the floatorder golden package: no compound float
+// assignment into captured state inside par worker closures.
+package a
+
+import (
+	"context"
+
+	"smartndr/internal/par"
+)
+
+// Flagged: scheduling-order float accumulation into captured targets.
+func SharedAccumulation(ctx context.Context, xs []float64) (float64, error) {
+	var sum float64
+	prod := 1.0
+	stats := struct{ total float64 }{}
+	err := par.ForEach(ctx, 0, len(xs), func(i int) error {
+		sum += xs[i]         // want "float accumulation into captured sum inside a par worker closure"
+		prod *= xs[i]        // want "float accumulation into captured prod inside a par worker closure"
+		stats.total += xs[i] // want "float accumulation into captured stats.total inside a par worker closure"
+		return nil
+	})
+	return sum + prod + stats.total, err
+}
+
+// Flagged: even a per-worker slot is order-dependent, because the
+// worker-to-item mapping changes with scheduling.
+func PerWorkerSlots(ctx context.Context, workers int, xs []float64) ([]float64, error) {
+	acc := make([]float64, workers)
+	err := par.ForEachWorker(ctx, workers, len(xs), func(w, i int) error {
+		acc[w] += xs[i] // want "float accumulation into captured acc\\[w\\] inside a par worker closure"
+		return nil
+	})
+	return acc, err
+}
+
+// Clean: per-item slots written with plain assignment, reduced serially.
+func IndexedSlots(ctx context.Context, xs []float64) (float64, error) {
+	out := make([]float64, len(xs))
+	err := par.ForEach(ctx, 0, len(xs), func(i int) error {
+		out[i] = xs[i] * xs[i]
+		return nil
+	})
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	return sum, err
+}
+
+// Clean: the accumulator is local to the closure.
+func LocalAccumulator(ctx context.Context, xs [][]float64, out []float64) error {
+	return par.ForEach(ctx, 0, len(xs), func(i int) error {
+		var rowSum float64
+		for _, v := range xs[i] {
+			rowSum += v
+		}
+		out[i] = rowSum
+		return nil
+	})
+}
+
+// Clean: integer accumulation is associative; only floats are flagged.
+// (Racy int writes are the race detector's department, not this one's.)
+func IntAccumulation(ctx context.Context, xs []int, hits *int64) error {
+	return par.ForEach(ctx, 0, len(xs), func(i int) error {
+		*hits += int64(xs[i])
+		return nil
+	})
+}
+
+// Clean: an audited exception stands down with an annotation.
+func Audited(ctx context.Context, xs []float64) (float64, error) {
+	var sum float64
+	err := par.ForEach(ctx, 1, len(xs), func(i int) error {
+		sum += xs[i] //lint:allow floatorder — single-worker fan-out, sequential by construction
+		return nil
+	})
+	return sum, err
+}

@@ -1,0 +1,55 @@
+// Package core is a maporder golden package: its import path ends in
+// "core", so it is in the result-producing scope.
+package core
+
+import "sort"
+
+// Flagged: raw map iteration in a result-producing package.
+func sumValues(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "range over map m: iteration order is nondeterministic"
+		total += v
+	}
+	return total
+}
+
+// Flagged: map literals are no better.
+func firstRule() int {
+	for _, ri := range map[string]int{"a": 1, "b": 2} { // want "range over map map\\[string\\]int"
+		return ri
+	}
+	return 0
+}
+
+// Clean: the collect-then-sort idiom is recognized.
+func sortedKeys(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clean: an annotated commutative fold.
+func maxValue(m map[int]float64) float64 {
+	best := 0.0
+	for _, v := range m { //lint:commutative — max is order-independent
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Flagged: collecting values (not keys) does not make the order safe
+// even with a later sort of a different slice.
+func values(m map[string]int) []int {
+	var keys []string
+	var vals []int
+	for _, v := range m { // want "range over map m"
+		vals = append(vals, v)
+	}
+	sort.Strings(keys)
+	return vals
+}

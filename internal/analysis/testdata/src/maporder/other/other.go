@@ -1,0 +1,12 @@
+// Package other is outside the maporder scope (its path element is not
+// a result-producing package name), so nothing here is flagged.
+package other
+
+// Clean: out of scope.
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,36 @@
+// Package engine is a seededrand golden package: math/rand global-state
+// functions are forbidden outside internal/par.
+package engine
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+
+	"smartndr/internal/par"
+)
+
+// Flagged: global-source draws and seeding.
+func Jitter() float64 {
+	rand.Seed(42)           // want "rand.Seed draws from the package-global random source"
+	x := rand.Float64()     // want "rand.Float64 draws from the package-global random source"
+	n := rand.Intn(10)      // want "rand.Intn draws from the package-global random source"
+	y := randv2.Float64()   // want "rand/v2.Float64 draws from the package-global random source"
+	rand.Shuffle(3, swapOf) // want "rand.Shuffle draws from the package-global random source"
+	return x + float64(n) + y
+}
+
+func swapOf(i, j int) {}
+
+// Clean: explicit per-stream seeding through the par substream API.
+func Trial(seed int64, i int) float64 {
+	var src par.Source
+	src.Seed(par.SubstreamSeed(seed, i))
+	rng := rand.New(&src)
+	return rng.Float64()
+}
+
+// Clean: a directly seeded source is reproducible too.
+func Direct(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(100)
+}

@@ -1,0 +1,8 @@
+// Package par is exempt from seededrand (the real internal/par is the
+// substream layer itself), so global draws here are not flagged.
+package par
+
+import "math/rand"
+
+// Clean: the par package may touch the global source.
+func Probe() float64 { return rand.Float64() }

@@ -1,0 +1,40 @@
+// Package obs is a minimal stub of the real smartndr/internal/obs with
+// the method set the analyzers key on (receiver types and names must
+// match; behavior is irrelevant to type-checking golden packages).
+package obs
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// S returns a string attribute.
+func S(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// I returns an integer attribute.
+func I(key string, value int) Attr { return Attr{Key: key, Value: value} }
+
+// Tracer mirrors obs.Tracer.
+type Tracer struct{}
+
+// New returns a tracer.
+func New(sink any) *Tracer { return nil }
+
+// Start opens an ambient-stack span.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span { return nil }
+
+// Span mirrors obs.Span.
+type Span struct{}
+
+// Start opens an ambient-stack child span.
+func (s *Span) Start(name string, attrs ...Attr) *Span { return nil }
+
+// Child opens a stack-free child span.
+func (s *Span) Child(name string, attrs ...Attr) *Span { return nil }
+
+// Set attaches an attribute.
+func (s *Span) Set(key string, value any) {}
+
+// End closes the span.
+func (s *Span) End() {}

@@ -1,0 +1,43 @@
+// Package par is a minimal stub of the real smartndr/internal/par with
+// the function set the analyzers key on.
+package par
+
+import "context"
+
+// Workers resolves a worker-count knob.
+func Workers(n int) int { return n }
+
+// ForEach runs fn(i) for every i in [0, n).
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEachWorker is ForEach with the worker id passed to fn.
+func ForEachWorker(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(0, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Source is a reseedable source.
+type Source struct{ state uint64 }
+
+// Seed resets the stream.
+func (s *Source) Seed(seed int64) { s.state = uint64(seed) }
+
+// Uint64 returns the next output.
+func (s *Source) Uint64() uint64 { s.state++; return s.state }
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// SubstreamSeed derives a per-item seed.
+func SubstreamSeed(seed int64, i int) int64 { return seed + int64(i) }

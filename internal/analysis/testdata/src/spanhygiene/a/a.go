@@ -1,0 +1,99 @@
+// Package a is the spanhygiene golden package: spans must End on every
+// path, and concurrent code must open children with Span.Child.
+package a
+
+import (
+	"context"
+	"errors"
+
+	"smartndr/internal/obs"
+	"smartndr/internal/par"
+)
+
+// Flagged: sp leaks on the early error return.
+func LeakOnReturn(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("work") // want "span sp is not Ended on every path"
+	if fail {
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}
+
+// Flagged: the handle is thrown away, so nothing can End the span.
+func Discarded(tr *obs.Tracer) {
+	tr.Start("fire-and-forget") // want "span is opened but its handle is discarded"
+	_ = tr.Start("blanked")     // want "span is opened but its handle is discarded"
+}
+
+// Flagged: each iteration opens a span the body never closes.
+func LeakInLoop(root *obs.Span, n int) {
+	for i := 0; i < n; i++ {
+		sp := root.Child("iter") // want "span sp opened in a loop body is not Ended"
+		sp.Set("i", i)
+	}
+}
+
+// Flagged: ambient-stack Start inside a go statement races the tracer's
+// span stack. The discarded-handle report fires at the same call.
+func ConcurrentAmbient(tr *obs.Tracer) {
+	go func() {
+		tr.Start("racy") // want "Tracer.Start uses the tracer's ambient span stack inside a go statement" "span is opened but its handle is discarded"
+	}()
+}
+
+// Flagged: Span.Start inside a par worker closure.
+func WorkerAmbient(ctx context.Context, sp *obs.Span, n int) error {
+	return par.ForEach(ctx, 0, n, func(i int) error {
+		c := sp.Start("item") // want "Span.Start uses the tracer's ambient span stack inside a par worker closure"
+		defer c.End()
+		return nil
+	})
+}
+
+// Clean: defer right after Start covers every path.
+func DeferEnd(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("work")
+	defer sp.End()
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+// Clean: End inside a deferred closure also covers every path.
+func DeferClosureEnd(tr *obs.Tracer) (err error) {
+	sp := tr.Start("work")
+	defer func() {
+		sp.Set("err", err)
+		sp.End()
+	}()
+	return nil
+}
+
+// Clean: every arm of the branch Ends the span explicitly.
+func AllPathsEnd(tr *obs.Tracer, fast bool) {
+	sp := tr.Start("work")
+	if fast {
+		sp.End()
+		return
+	}
+	sp.Set("slow", true)
+	sp.End()
+}
+
+// Clean: the worker opens a stack-free child and closes it per item.
+func WorkerChild(ctx context.Context, sp *obs.Span, n int) error {
+	return par.ForEach(ctx, 0, n, func(i int) error {
+		c := sp.Child("item", obs.I("i", i))
+		defer c.End()
+		return nil
+	})
+}
+
+// Clean: the span escapes — ownership (and the End obligation) moves to
+// the caller, so the local check stands down.
+func OpenSection(tr *obs.Tracer, name string) *obs.Span {
+	sp := tr.Start(name, obs.S("kind", "section"))
+	return sp
+}

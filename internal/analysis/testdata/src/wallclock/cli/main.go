@@ -1,0 +1,13 @@
+// Command cli shows that package main (the CLIs and examples) is
+// exempt from wallclock.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	t0 := time.Now() // clean: package main may measure wall time
+	fmt.Println(time.Since(t0))
+}

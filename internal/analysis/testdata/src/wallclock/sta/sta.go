@@ -1,0 +1,23 @@
+// Package sta is a wallclock golden package: a deterministic engine
+// package (non-main, not obs) must not read the wall clock. Its path
+// element "sta" also pins the acceptance case "a time.Now in
+// internal/sta makes the linter exit nonzero".
+package sta
+
+import "time"
+
+// Flagged: all three wall-clock reads.
+func Measure() time.Duration {
+	t0 := time.Now()    // want "time.Now reads the wall clock in a deterministic package"
+	d := time.Since(t0) // want "time.Since reads the wall clock in a deterministic package"
+	d += time.Until(t0) // want "time.Until reads the wall clock in a deterministic package"
+	return d
+}
+
+// Clean: an annotated, justified measurement.
+func Profile() time.Time {
+	return time.Now() //lint:allow wallclock — this golden case documents the escape hatch
+}
+
+// Clean: non-clock uses of package time are fine.
+func Budget() time.Duration { return 3 * time.Second }

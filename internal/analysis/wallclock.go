@@ -1,0 +1,39 @@
+package analysis
+
+import "go/ast"
+
+// Wallclock forbids reading the wall clock (time.Now, time.Since,
+// time.Until) outside internal/obs and the CLIs. Engine packages must
+// stay replayable: a path whose behavior or output depends on the real
+// clock cannot be resumed, diffed, or compared across runs. obs owns
+// all span timing; package main (the CLIs and examples) may measure
+// whatever it likes. A deliberate in-engine measurement — e.g. a
+// runtime-scaling experiment whose *subject* is wall time — carries a
+// //lint:allow wallclock annotation with its justification.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids time.Now/Since/Until outside internal/obs and package main",
+	Run:  runWallclock,
+}
+
+func runWallclock(pass *Pass) error {
+	if pass.Pkg.Name() == "main" || pathBase(pass.Pkg.Path()) == "obs" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, fn := pkgFunc(pass.Info, call)
+			if pkg == "time" && (fn == "Now" || fn == "Since" || fn == "Until") {
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock in a deterministic package; route timing through obs spans or annotate //lint:allow wallclock with a justification",
+					fn)
+			}
+			return true
+		})
+	}
+	return nil
+}

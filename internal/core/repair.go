@@ -167,7 +167,7 @@ func repairToTargets(tim *sta.Incremental, t *ctree.Tree, te *tech.Tech, lib *ce
 				drv[v] = drv[p]
 			}
 		})
-		for u := range res.StageCap {
+		for u := range res.StageCap { //lint:commutative — fills rdDrv[u] independently per key; no cross-key state
 			b := &lib.Buffers[t.Nodes[u].BufIdx]
 			rdDrv[u] = buffering.Linearize(b, res.Slew[u]).Rd
 		}

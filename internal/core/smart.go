@@ -121,6 +121,7 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 
 	if !cfg.DisableRepair {
 		rsp := tr.Start("init_repair")
+		defer rsp.End() // error paths; no-op after the explicit End below
 		rep, err := repairToTargets(tim, t, te, lib, cfg.InSlew, nil, cfg.MaxSkew, cfg.RepairIters)
 		if err != nil {
 			return nil, err
@@ -142,6 +143,7 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 		psp := tr.Start("pass", obs.I("pass", pass))
 		res, err = tim.Analyze(t, cfg.InSlew)
 		if err != nil {
+			psp.End()
 			return nil, err
 		}
 		passCap = append(passCap, res.TotalSwitchedCap())
@@ -154,6 +156,7 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 			// changed since the pass-top query, so it is served from cache.
 			emFloor, err = emFloors(tim, t, te, cfg.InSlew, *cfg.EM)
 			if err != nil {
+				psp.End()
 				return nil, err
 			}
 		}
@@ -240,6 +243,7 @@ func Optimize(t *ctree.Tree, te *tech.Tech, lib *cell.Library, cfg Config) (*Sta
 	rvsp.End()
 	if !cfg.DisableRepair {
 		csp := tr.Start("cleanup")
+		defer csp.End() // error paths; no-op after the explicit End below
 		prevRepair := math.Inf(1)
 		rounds := 0
 		for round := 0; round < 8; round++ {

@@ -163,6 +163,7 @@ func Build(sinks []ctree.Sink, src geom.Point, te *tech.Tech, lib *cell.Library,
 
 	// ---- Phase A: cluster, embed, leaf-buffer. ----
 	clSpan := tr.Start("cluster")
+	defer clSpan.End() // error paths; no-op after the explicit End below
 	idx := make([]int, len(sinks))
 	for i := range idx {
 		idx[i] = i
@@ -175,6 +176,7 @@ func Build(sinks []ctree.Sink, src geom.Point, te *tech.Tech, lib *cell.Library,
 	clSpan.Set("clusters", len(clusters))
 	clSpan.End()
 	leafSpan := tr.Start("leaf_embed")
+	defer leafSpan.End() // error paths; no-op after the explicit End below
 
 	type clusterTree struct {
 		tree   *ctree.Tree
@@ -258,6 +260,7 @@ func Build(sinks []ctree.Sink, src geom.Point, te *tech.Tech, lib *cell.Library,
 		}
 	}
 	topSpan := tr.Start("top_embed")
+	defer topSpan.End() // error paths; no-op after the explicit End below
 	pseudo := make([]ctree.Sink, len(cts))
 	for i := range cts {
 		pseudo[i] = cts[i].pseudo
@@ -297,6 +300,7 @@ func Build(sinks []ctree.Sink, src geom.Point, te *tech.Tech, lib *cell.Library,
 		iters = 1
 	}
 	calSpan := tr.Start("calibrate")
+	defer calSpan.End() // error paths; no-op after the explicit End below
 	lastSpread := 0.0
 	calIters := 0
 	var final *ctree.Tree

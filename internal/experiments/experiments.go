@@ -318,18 +318,20 @@ func T3RuntimeScaling(o Options) error {
 		if err != nil {
 			return err
 		}
-		t0 := time.Now()
+		// T3's subject *is* wall-clock runtime; its rows are the one table
+		// exempt from the bit-identical-output contract (docs/performance.md).
+		t0 := time.Now() //lint:allow wallclock — runtime scaling is what T3 measures
 		res, err := cts.Build(bm.Sinks, bm.Src, te, lib, cts.Options{Tracer: o.Tracer})
 		if err != nil {
 			return err
 		}
-		buildMS := time.Since(t0).Seconds() * 1e3
+		buildMS := time.Since(t0).Seconds() * 1e3 //lint:allow wallclock — runtime scaling is what T3 measures
 		res.Tree.SetAllRules(te.BlanketRule)
-		t1 := time.Now()
+		t1 := time.Now() //lint:allow wallclock — runtime scaling is what T3 measures
 		if _, err := core.Optimize(res.Tree, te, lib, core.Config{Tracer: o.Tracer}); err != nil {
 			return err
 		}
-		optMS := time.Since(t1).Seconds() * 1e3
+		optMS := time.Since(t1).Seconds() * 1e3 //lint:allow wallclock — runtime scaling is what T3 measures
 		tb.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", len(res.Tree.Nodes)),
 			fmt.Sprintf("%.0f", buildMS), fmt.Sprintf("%.0f", optMS),
 			fmt.Sprintf("%.0f", buildMS+optMS))

@@ -25,15 +25,20 @@ func F1SlewSweep(o Options) error {
 	if err != nil {
 		return err
 	}
+	// Fixed-order pairs, not a map literal: map iteration order would make
+	// the evaluation (and any error) order nondeterministic across runs.
 	anchors := map[string]float64{}
-	for name, ri := range map[string]int{"all-default": te.DefaultRule, "blanket": te.BlanketRule} {
+	for _, a := range []struct {
+		name string
+		rule int
+	}{{"all-default", te.DefaultRule}, {"blanket", te.BlanketRule}} {
 		t := tree.Clone()
-		core.AssignAll(t, ri)
+		core.AssignAll(t, a.rule)
 		m, _, err := core.Evaluate(t, te, lib, 40e-12)
 		if err != nil {
 			return err
 		}
-		anchors[name] = m.Power.Total()
+		anchors[a.name] = m.Power.Total()
 	}
 	tb := report.NewTable(
 		fmt.Sprintf("F1: smart-NDR power vs slew constraint (%s; blanket %.3f mW, all-default %.3f mW)",

@@ -569,7 +569,9 @@ func (inc *Incremental) runCrossCheck(t *ctree.Tree, inSlew float64) error {
 				i, got.Arrival[i], want.Arrival[i], got.Slew[i], want.Slew[i], got.DownCap[i], want.DownCap[i])
 		}
 	}
-	for d, w := range want.StageCap {
+	// Pure comparison: pass/fail is order-independent (only which mismatch
+	// is reported first varies, and any mismatch is already a hard error).
+	for d, w := range want.StageCap { //lint:commutative
 		if diff(got.StageCap[d], w) {
 			return fmt.Errorf("sta: incremental cross-check mismatch: StageCap[%d] %g vs %g", d, got.StageCap[d], w)
 		}

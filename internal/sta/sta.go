@@ -241,6 +241,7 @@ func (a *Analyzer) analyze(t *ctree.Tree, inSlew float64, ov *Overrides, tr *obs
 	sp := tr.Start("sta.analyze", obs.I("nodes", len(t.Nodes)))
 	defer sp.End()
 	rcSpan := tr.Start("rc_build")
+	defer rcSpan.End() // error paths; no-op after the explicit End below
 	n := len(t.Nodes)
 	a.resize(n)
 	res := &a.res
