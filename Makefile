@@ -6,7 +6,15 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build check vet fmt lint lint-extra test race bench bench-smoke bench-json ci clean
+.PHONY: all build check vet fmt lint lint-extra test race bench bench-smoke bench-json cover fuzz-smoke ci clean
+
+# Coverage floor (percent) enforced on internal/serve — the service
+# layer is pure coordination logic, so uncovered lines are usually
+# unhandled error paths. Raise, don't lower.
+SERVE_COVER_FLOOR ?= 80
+
+# Per-target budget for the fuzz smoke pass.
+FUZZTIME ?= 10s
 
 all: check
 
@@ -59,10 +67,33 @@ bench-json:
 		| $(GO) run ./internal/tools/bench2json -out BENCH_PR3.json
 	@echo wrote BENCH_PR3.json
 
+# Per-package coverage summary plus an enforced floor on internal/serve.
+# Writes cover.out (uploaded as a CI artifact) and prints the func-level
+# breakdown for the service package.
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
+	@$(GO) tool cover -func=cover.out | grep '^smartndr/internal/serve/' || true
+	@total="$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}')"; \
+	echo "total coverage: $$total%"
+	@serve="$$($(GO) test -cover ./internal/serve/ | awk '{for(i=1;i<=NF;i++) if ($$i=="coverage:") {sub(/%/,"",$$(i+1)); print $$(i+1)}}')"; \
+	echo "internal/serve coverage: $$serve% (floor $(SERVE_COVER_FLOOR)%)"; \
+	awk -v c="$$serve" -v f="$(SERVE_COVER_FLOOR)" 'BEGIN { exit (c+0 >= f+0) ? 0 : 1 }' || \
+		{ echo "internal/serve coverage $$serve% is below the $(SERVE_COVER_FLOOR)% floor"; exit 1; }
+
+# Ten seconds of fuzzing per target — enough to shake out shallow
+# decoder and canonicalization bugs on every CI run without burning
+# minutes. `go test` allows one -fuzz pattern per invocation, hence one
+# line per target. Corpus seeds live in testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFlowRequest$$' -fuzztime $(FUZZTIME) ./internal/serve/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSweepRequest$$' -fuzztime $(FUZZTIME) ./internal/serve/
+	$(GO) test -run '^$$' -fuzz '^FuzzSpecCanonical$$' -fuzztime $(FUZZTIME) ./internal/workload/
+
 # What CI runs (.github/workflows/ci.yml): everything check does plus a
-# plain build, the full test suite, and the benchmark smoke pass. CI also
-# runs lint-extra, which needs network access for the pinned tools.
-ci: build vet fmt lint test race bench-smoke
+# plain build, the full test suite, the benchmark smoke pass, the fuzz
+# smoke pass, and the coverage floor. CI also runs lint-extra, which
+# needs network access for the pinned tools.
+ci: build vet fmt lint test race bench-smoke fuzz-smoke cover
 
 clean:
 	$(GO) clean ./...

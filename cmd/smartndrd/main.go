@@ -1,0 +1,135 @@
+// Command smartndrd serves the smartndr flow over HTTP/JSON: a
+// long-running daemon that synthesizes and evaluates clock trees on
+// demand, with content-addressed result caching, bounded admission, and
+// graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	smartndrd -addr :8147
+//	smartndrd -addr localhost:8147 -max-concurrent 4 -queue-depth 8
+//	smartndrd -trace spans.jsonl -request-timeout 30s
+//
+// Endpoints (see docs/service.md):
+//
+//	POST /v1/flow     run one benchmark through one scheme
+//	POST /v1/sweep    scheme×corner arm batch on one shared tree
+//	GET  /v1/healthz  liveness (503 while draining)
+//	GET  /v1/statsz   counters, cache and admission state
+//
+// On SIGTERM or SIGINT the daemon stops admitting work (new requests
+// get 503 + Retry-After), lets in-flight requests finish up to
+// -drain-timeout, then exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"smartndr/internal/obs"
+	"smartndr/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr, nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "smartndrd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable daemon body. ready, when non-nil, receives the
+// bound listen address once the server is accepting connections; stop,
+// when non-nil, triggers shutdown like a signal would (tests use it
+// instead of delivering real signals).
+func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("smartndrd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "localhost:8147", "listen address")
+	maxConc := fs.Int("max-concurrent", 0, "max requests executing at once (0 = all cores)")
+	queueDepth := fs.Int("queue-depth", 0, "max requests waiting for a slot before 429 (0 = 2×max-concurrent)")
+	reqTimeout := fs.Duration("request-timeout", 120*time.Second, "per-request deadline ceiling")
+	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429/503 refusals")
+	cacheEntries := fs.Int("cache-entries", 256, "result-cache capacity (entries)")
+	workers := fs.Int("workers", 0, "sweep-arm fan-out bound (0 = all cores; results identical at any count)")
+	traceFile := fs.String("trace", "", "write span events as JSON lines to this file")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tracer *obs.Tracer
+	closeTrace := func() error { return nil }
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		tracer = obs.New(obs.NewJSONL(f))
+		closeTrace = func() error {
+			if err := tracer.Close(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	}
+
+	srv := serve.New(serve.Config{
+		MaxConcurrent:  *maxConc,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *reqTimeout,
+		RetryAfter:     *retryAfter,
+		CacheEntries:   *cacheEntries,
+		Workers:        *workers,
+		Tracer:         tracer,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stderr, "smartndrd: serving on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-serveErr:
+		closeTrace()
+		return fmt.Errorf("serve: %w", err)
+	case s := <-sig:
+		fmt.Fprintf(stderr, "smartndrd: %v, draining\n", s)
+	case <-stop:
+		fmt.Fprintln(stderr, "smartndrd: stop requested, draining")
+	}
+
+	// Stop admitting work and let the in-flight tail finish, then close
+	// the listener and connections.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+	if drainErr != nil {
+		fmt.Fprintf(stderr, "smartndrd: %v\n", drainErr)
+	}
+	shutCtx, cancelShut := context.WithTimeout(context.Background(), time.Second)
+	defer cancelShut()
+	httpSrv.Shutdown(shutCtx)
+	if err := closeTrace(); err != nil {
+		fmt.Fprintln(stderr, "smartndrd: trace:", err)
+	}
+	return drainErr
+}

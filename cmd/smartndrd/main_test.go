@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL plus a shutdown function that triggers drain and waits for exit.
+func startDaemon(t *testing.T, extraArgs ...string) (base string, shutdown func() error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() { done <- run(args, io.Discard, ready, stop) }()
+	addr := <-ready
+	return "http://" + addr, func() error {
+		close(stop)
+		return <-done
+	}
+}
+
+func TestDaemonServesAndDrains(t *testing.T) {
+	base, shutdown := startDaemon(t)
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	// One real (tiny) flow through the full daemon stack.
+	body := `{"spec":{"name":"d","sinks":12,"die_x":300,"die_y":300,"seed":3,"cap_min":1e-15,"cap_max":3e-15}}`
+	resp, err = http.Post(base+"/v1/flow", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flow = %d: %s", resp.StatusCode, out)
+	}
+	var flowOut map[string]any
+	if err := json.Unmarshal(out, &flowOut); err != nil {
+		t.Fatalf("flow response not JSON: %v", err)
+	}
+	if flowOut["key"] == "" || flowOut["bench"] != "d" {
+		t.Errorf("flow response %v", flowOut)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// The listener is gone after drain.
+	if _, err := http.Get(base + "/v1/healthz"); err == nil {
+		t.Error("daemon still serving after shutdown")
+	}
+}
+
+func TestDaemonWritesTrace(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "spans.jsonl")
+	base, shutdown := startDaemon(t, "-trace", trace)
+
+	body := `{"spec":{"name":"tr","sinks":8,"die_x":200,"die_y":200,"seed":1,"cap_min":1e-15,"cap_max":3e-15}}`
+	resp, err := http.Post(base+"/v1/flow", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"serve.flow"`) {
+		t.Errorf("trace file lacks the request span:\n%s", data)
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, io.Discard, nil, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:bad"}, io.Discard, nil, nil); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}

@@ -1,6 +1,10 @@
 package smartndr
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -251,6 +255,97 @@ func (f *Flow) Apply(b *Built, scheme Scheme) (*Result, error) {
 	}
 	res.Metrics = m
 	return res, nil
+}
+
+// RunSpec is the one-call, context-accepting form of the flow a
+// long-running service uses: generate the benchmark described by spec,
+// synthesize the clock tree, and apply the scheme. The context is
+// honored at phase granularity — it is checked before generation,
+// before building, and before applying, so a cancelled or expired
+// request stops at the next phase boundary rather than mid-phase (the
+// engine phases themselves are deterministic and uninterruptible).
+func (f *Flow) RunSpec(ctx context.Context, spec BenchSpec, scheme Scheme) (*Built, *Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	bm, err := workload.Generate(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	built, err := f.Build(bm.Sinks, bm.Src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	res, err := f.Apply(built, scheme)
+	if err != nil {
+		return nil, nil, err
+	}
+	return built, res, nil
+}
+
+// flowKeyVersion prefixes every canonical run serialization. Bump it
+// whenever the key format (or anything about result semantics) changes
+// so stale content-addressed cache entries can never alias new results.
+const flowKeyVersion = "smartndr/flow/v1"
+
+// runKey is the canonical serialization of everything that determines a
+// RunSpec result: the benchmark spec, the full technology and buffer
+// library, the scheme, and every resolved engine knob. Tracer fields
+// and Workers are deliberately absent — instrumentation and throughput
+// knobs never change results (the determinism suite proves it), so two
+// requests differing only there must share a content address.
+type runKey struct {
+	V       string      `json:"v"`
+	Spec    BenchSpec   `json:"spec"`
+	Tech    *Tech       `json:"tech"`
+	Library *Library    `json:"library"`
+	Scheme  int         `json:"scheme"`
+	TopK    int         `json:"top_k"`
+	InSlew  float64     `json:"in_slew"`
+	CTS     cts.Options `json:"cts"`
+	Opt     core.Config `json:"opt"`
+}
+
+// CanonicalRun returns the canonical byte serialization hashed by
+// CanonicalKey. Exposed so tests and tools can inspect exactly what the
+// content address covers.
+func (f *Flow) CanonicalRun(spec BenchSpec, scheme Scheme) ([]byte, error) {
+	k := runKey{
+		V:       flowKeyVersion,
+		Spec:    spec,
+		Tech:    f.cfg.Tech,
+		Library: f.cfg.Library,
+		Scheme:  int(scheme),
+		TopK:    f.cfg.TopK,
+		InSlew:  f.cfg.InSlew,
+		CTS:     f.cfg.CTS,
+		Opt:     f.cfg.Opt,
+	}
+	// Zero the non-semantic fields (a nil and a live tracer must
+	// serialize identically).
+	k.CTS.Tracer = nil
+	k.Opt.Tracer = nil
+	return json.Marshal(k)
+}
+
+// CanonicalKey returns the content address of a RunSpec outcome: the
+// SHA-256 (hex) of the canonical serialization of (spec, technology,
+// library, scheme, resolved knobs). Identical keys mean byte-identical
+// results, which is what makes the address safe to use as a cache key
+// and a cross-run dedup handle.
+func (f *Flow) CanonicalKey(spec BenchSpec, scheme Scheme) (string, error) {
+	b, err := f.CanonicalRun(spec, scheme)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // ApplyTopK evaluates the TopK scheme at a specific K (for sweeps). K is

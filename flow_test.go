@@ -1,49 +1,32 @@
-package smartndr
+package smartndr_test
 
 import (
+	"context"
 	"testing"
 
+	"smartndr"
 	"smartndr/internal/tech"
-	"smartndr/internal/workload"
+	"smartndr/internal/testutil"
 )
 
-// smallBench generates a quick benchmark for facade tests.
-func smallBench(t testing.TB, n int, die float64) *workload.Benchmark {
-	t.Helper()
-	bm, err := GenerateBenchmark(BenchSpec{
-		Name: "t", Dist: workload.Uniform, Sinks: n, DieX: die, DieY: die,
-		CapMin: 1e-15, CapMax: 3e-15, Seed: 42,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return bm
-}
-
 func TestFlowEndToEnd(t *testing.T) {
-	bm := smallBench(t, 200, 2500)
-	flow := NewFlow(nil)
-	built, err := flow.Build(bm.Sinks, bm.Src)
-	if err != nil {
-		t.Fatal(err)
-	}
+	bm := testutil.SmallBench(t, 200, 2500)
+	flow, built := testutil.BuildFlow(t, nil, bm)
 	if built.Buffers < 1 || built.NumClusters < 2 {
 		t.Fatalf("implausible build: %+v", built)
 	}
 
-	results := map[Scheme]*Result{}
-	for _, s := range []Scheme{SchemeAllDefault, SchemeBlanket, SchemeTopK, SchemeSmart} {
-		r, err := flow.Apply(built, s)
-		if err != nil {
-			t.Fatalf("%v: %v", s, err)
-		}
-		results[s] = r
+	results := map[smartndr.Scheme]*smartndr.Result{}
+	for _, s := range []smartndr.Scheme{
+		smartndr.SchemeAllDefault, smartndr.SchemeBlanket, smartndr.SchemeTopK, smartndr.SchemeSmart,
+	} {
+		results[s] = testutil.Apply(t, flow, built, s)
 	}
 
 	te := flow.Config().Tech
-	smart := results[SchemeSmart]
-	blanket := results[SchemeBlanket]
-	def := results[SchemeAllDefault]
+	smart := results[smartndr.SchemeSmart]
+	blanket := results[smartndr.SchemeBlanket]
+	def := results[smartndr.SchemeAllDefault]
 
 	// The headline claim: smart ≤ blanket power, with constraints met.
 	if smart.Metrics.Power.Total() >= blanket.Metrics.Power.Total() {
@@ -76,12 +59,8 @@ func TestFlowEndToEnd(t *testing.T) {
 }
 
 func TestFlowTopKSweepMonotone(t *testing.T) {
-	bm := smallBench(t, 150, 2000)
-	flow := NewFlow(nil)
-	built, err := flow.Build(bm.Sinks, bm.Src)
-	if err != nil {
-		t.Fatal(err)
-	}
+	bm := testutil.SmallBench(t, 150, 2000)
+	flow, built := testutil.BuildFlow(t, nil, bm)
 	maxK := flow.MaxTopK(built)
 	if maxK < 2 {
 		t.Fatalf("MaxTopK = %d", maxK)
@@ -102,59 +81,53 @@ func TestFlowTopKSweepMonotone(t *testing.T) {
 }
 
 func TestFlowDefaults(t *testing.T) {
-	f := NewFlow(nil)
+	f := smartndr.NewFlow(nil)
 	cfg := f.Config()
 	if cfg.Tech == nil || cfg.Library == nil || cfg.TopK != 2 || cfg.InSlew != 40e-12 {
 		t.Errorf("defaults not applied: %+v", cfg)
 	}
-	f65 := NewFlow(&FlowConfig{Tech: tech.Tech65()})
+	f65 := smartndr.NewFlow(&smartndr.FlowConfig{Tech: tech.Tech65()})
 	if f65.Config().Library.Name != "clkbuf65" {
 		t.Errorf("tech65 should pick the 65 nm library, got %s", f65.Config().Library.Name)
 	}
 }
 
 func TestFlowErrors(t *testing.T) {
-	flow := NewFlow(nil)
-	if _, err := flow.Build(nil, Point{}); err == nil {
+	flow := smartndr.NewFlow(nil)
+	if _, err := flow.Build(nil, smartndr.Point{}); err == nil {
 		t.Error("empty sinks must fail")
 	}
-	if _, err := flow.Apply(nil, SchemeSmart); err == nil {
+	if _, err := flow.Apply(nil, smartndr.SchemeSmart); err == nil {
 		t.Error("nil built must fail")
 	}
-	bm := smallBench(t, 10, 100)
-	built, err := flow.Build(bm.Sinks, bm.Src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := flow.Apply(built, Scheme(99)); err == nil {
+	bm := testutil.SmallBench(t, 10, 100)
+	_, built := testutil.BuildFlow(t, nil, bm)
+	if _, err := flow.Apply(built, smartndr.Scheme(99)); err == nil {
 		t.Error("unknown scheme must fail")
 	}
 }
 
 func TestBenchmarkLookup(t *testing.T) {
-	bm, err := Benchmark("cns01")
-	if err != nil {
-		t.Fatal(err)
-	}
+	bm := testutil.Named(t, "cns01")
 	if len(bm.Sinks) != 1200 {
 		t.Errorf("cns01 sinks = %d", len(bm.Sinks))
 	}
-	if _, err := Benchmark("nope"); err == nil {
+	if _, err := smartndr.Benchmark("nope"); err == nil {
 		t.Error("unknown benchmark must fail")
 	}
-	if len(Suite()) != 8 {
+	if len(smartndr.Suite()) != 8 {
 		t.Error("suite size")
 	}
 }
 
 func TestSchemeString(t *testing.T) {
-	want := map[Scheme]string{
-		SchemeAllDefault: "all-default",
-		SchemeBlanket:    "blanket-ndr",
-		SchemeTopK:       "top-k",
-		SchemeSmart:      "smart-ndr",
-		SchemeTrunk:      "trunk-ndr",
-		Scheme(9):        "scheme(9)",
+	want := map[smartndr.Scheme]string{
+		smartndr.SchemeAllDefault: "all-default",
+		smartndr.SchemeBlanket:    "blanket-ndr",
+		smartndr.SchemeTopK:       "top-k",
+		smartndr.SchemeSmart:      "smart-ndr",
+		smartndr.SchemeTrunk:      "trunk-ndr",
+		smartndr.Scheme(9):        "scheme(9)",
 	}
 	for s, name := range want {
 		if got := s.String(); got != name {
@@ -166,7 +139,7 @@ func TestSchemeString(t *testing.T) {
 func TestDefaultLibraryFor(t *testing.T) {
 	cases := []struct {
 		name string
-		te   *Tech
+		te   *smartndr.Tech
 		want string
 	}{
 		{"nil tech", nil, "clkbuf45"},
@@ -182,44 +155,37 @@ func TestDefaultLibraryFor(t *testing.T) {
 		{"legacy custom name", renamedTech(legacyTech(tech.Tech65()), "custom"), "clkbuf45"},
 	}
 	for _, c := range cases {
-		if got := DefaultLibraryFor(c.te).Name; got != c.want {
+		if got := smartndr.DefaultLibraryFor(c.te).Name; got != c.want {
 			t.Errorf("%s: library = %s, want %s", c.name, got, c.want)
 		}
 		if c.te == nil {
 			continue
 		}
-		f := NewFlow(&FlowConfig{Tech: c.te})
+		f := smartndr.NewFlow(&smartndr.FlowConfig{Tech: c.te})
 		if got := f.Config().Library.Name; got != c.want {
 			t.Errorf("%s: NewFlow library = %s, want %s", c.name, got, c.want)
 		}
 	}
 }
 
-func renamedTech(te *Tech, name string) *Tech {
+func renamedTech(te *smartndr.Tech, name string) *smartndr.Tech {
 	te.Name = name
 	return te
 }
 
-func legacyTech(te *Tech) *Tech {
+func legacyTech(te *smartndr.Tech) *smartndr.Tech {
 	te.Node = 0
 	return te
 }
 
 func TestApplyTopKZeroIsAllDefault(t *testing.T) {
-	bm := smallBench(t, 120, 1800)
-	flow := NewFlow(nil)
-	built, err := flow.Build(bm.Sinks, bm.Src)
-	if err != nil {
-		t.Fatal(err)
-	}
+	bm := testutil.SmallBench(t, 120, 1800)
+	flow, built := testutil.BuildFlow(t, nil, bm)
 	zero, err := flow.ApplyTopK(built, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	def, err := flow.Apply(built, SchemeAllDefault)
-	if err != nil {
-		t.Fatal(err)
-	}
+	def := testutil.Apply(t, flow, built, smartndr.SchemeAllDefault)
 	if zero.Metrics.Power.Total() != def.Metrics.Power.Total() ||
 		zero.Metrics.SwitchedCap != def.Metrics.SwitchedCap ||
 		zero.Metrics.Skew != def.Metrics.Skew ||
@@ -240,12 +206,8 @@ func TestApplyTopKZeroIsAllDefault(t *testing.T) {
 // mutate the Built tree, whatever scheme runs: every rule assignment in
 // the built tree must match the pre-Apply snapshot afterwards.
 func TestFlowApplyCloneIsolation(t *testing.T) {
-	bm := smallBench(t, 100, 1500)
-	flow := NewFlow(nil)
-	built, err := flow.Build(bm.Sinks, bm.Src)
-	if err != nil {
-		t.Fatal(err)
-	}
+	bm := testutil.SmallBench(t, 100, 1500)
+	flow, built := testutil.BuildFlow(t, nil, bm)
 	snapshot := make([]int, len(built.Tree.Nodes))
 	for i := range built.Tree.Nodes {
 		snapshot[i] = built.Tree.Nodes[i].Rule
@@ -261,10 +223,11 @@ func TestFlowApplyCloneIsolation(t *testing.T) {
 			}
 		}
 	}
-	for _, s := range []Scheme{SchemeAllDefault, SchemeBlanket, SchemeTopK, SchemeTrunk, SchemeSmart} {
-		if _, err := flow.Apply(built, s); err != nil {
-			t.Fatalf("%v: %v", s, err)
-		}
+	for _, s := range []smartndr.Scheme{
+		smartndr.SchemeAllDefault, smartndr.SchemeBlanket, smartndr.SchemeTopK,
+		smartndr.SchemeTrunk, smartndr.SchemeSmart,
+	} {
+		testutil.Apply(t, flow, built, s)
 		check(s.String())
 	}
 	if _, err := flow.ApplyTopK(built, 3); err != nil {
@@ -276,17 +239,11 @@ func TestFlowApplyCloneIsolation(t *testing.T) {
 // TestFlowTracing drives the flow through the public tracing surface and
 // checks the recorded spans cover build, apply, and the metrics snapshot.
 func TestFlowTracing(t *testing.T) {
-	bm := smallBench(t, 100, 1500)
-	col := NewTraceCollector()
-	tracer := NewTracer(col)
-	flow := NewFlow(&FlowConfig{Tracer: tracer})
-	built, err := flow.Build(bm.Sinks, bm.Src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := flow.Apply(built, SchemeSmart); err != nil {
-		t.Fatal(err)
-	}
+	bm := testutil.SmallBench(t, 100, 1500)
+	col := smartndr.NewTraceCollector()
+	tracer := smartndr.NewTracer(col)
+	flow, built := testutil.BuildFlow(t, &smartndr.FlowConfig{Tracer: tracer}, bm)
+	testutil.Apply(t, flow, built, smartndr.SchemeSmart)
 	if err := tracer.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -310,16 +267,9 @@ func TestFlowTracing(t *testing.T) {
 }
 
 func TestFlowTimingAndMonteCarlo(t *testing.T) {
-	bm := smallBench(t, 80, 1200)
-	flow := NewFlow(nil)
-	built, err := flow.Build(bm.Sinks, bm.Src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := flow.Apply(built, SchemeSmart)
-	if err != nil {
-		t.Fatal(err)
-	}
+	bm := testutil.SmallBench(t, 80, 1200)
+	flow, built := testutil.BuildFlow(t, nil, bm)
+	res := testutil.Apply(t, flow, built, smartndr.SchemeSmart)
 	timing, err := flow.Timing(res.Tree)
 	if err != nil {
 		t.Fatal(err)
@@ -327,7 +277,7 @@ func TestFlowTimingAndMonteCarlo(t *testing.T) {
 	if timing.BufferCount != res.Metrics.Buffers {
 		t.Error("timing and metrics disagree on buffers")
 	}
-	p := VariationParams{WidthSigma: 0.004, BufSigma: 0.02, SpatialFrac: 0.5, Samples: 10, Seed: 3}
+	p := smartndr.VariationParams{WidthSigma: 0.004, BufSigma: 0.02, SpatialFrac: 0.5, Samples: 10, Seed: 3}
 	mc, err := flow.MonteCarlo(res.Tree, p)
 	if err != nil {
 		t.Fatal(err)
@@ -338,16 +288,9 @@ func TestFlowTimingAndMonteCarlo(t *testing.T) {
 }
 
 func TestFlowRepairSkewPublic(t *testing.T) {
-	bm := smallBench(t, 60, 1000)
-	flow := NewFlow(nil)
-	built, err := flow.Build(bm.Sinks, bm.Src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r, err := flow.Apply(built, SchemeBlanket)
-	if err != nil {
-		t.Fatal(err)
-	}
+	bm := testutil.SmallBench(t, 60, 1000)
+	flow, built := testutil.BuildFlow(t, nil, bm)
+	r := testutil.Apply(t, flow, built, smartndr.SchemeBlanket)
 	if err := flow.RepairSkew(r.Tree, flow.Config().Tech.MaxSkew); err != nil {
 		t.Fatal(err)
 	}
@@ -361,16 +304,9 @@ func TestFlowRepairSkewPublic(t *testing.T) {
 }
 
 func TestFlowEMAndCorners(t *testing.T) {
-	bm := smallBench(t, 120, 1800)
-	flow := NewFlow(nil)
-	built, err := flow.Build(bm.Sinks, bm.Src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r, err := flow.Apply(built, SchemeSmart)
-	if err != nil {
-		t.Fatal(err)
-	}
+	bm := testutil.SmallBench(t, 120, 1800)
+	flow, built := testutil.BuildFlow(t, nil, bm)
+	r := testutil.Apply(t, flow, built, smartndr.SchemeSmart)
 	viols, err := flow.AuditEM(r.Tree)
 	if err != nil {
 		t.Fatal(err)
@@ -388,16 +324,9 @@ func TestFlowEMAndCorners(t *testing.T) {
 }
 
 func TestFlowRealizeSchedule(t *testing.T) {
-	bm := smallBench(t, 80, 1200)
-	flow := NewFlow(nil)
-	built, err := flow.Build(bm.Sinks, bm.Src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r, err := flow.Apply(built, SchemeBlanket)
-	if err != nil {
-		t.Fatal(err)
-	}
+	bm := testutil.SmallBench(t, 80, 1200)
+	flow, built := testutil.BuildFlow(t, nil, bm)
+	r := testutil.Apply(t, flow, built, smartndr.SchemeBlanket)
 	targets := make([]float64, len(bm.Sinks)) // zero schedule == plain balance
 	if err := flow.RealizeSchedule(r.Tree, targets, flow.Config().Tech.MaxSkew); err != nil {
 		t.Fatal(err)
@@ -414,14 +343,10 @@ func TestFlowRealizeSchedule(t *testing.T) {
 func TestFlowMonteCarloWorkersInvariance(t *testing.T) {
 	// FlowConfig.Workers is a pure throughput knob: the Monte Carlo
 	// substream determinism makes results identical at any setting.
-	bm := smallBench(t, 120, 1500)
-	serial := NewFlow(&FlowConfig{Workers: 1})
-	parallel := NewFlow(&FlowConfig{Workers: 8})
-	built, err := serial.Build(bm.Sinks, bm.Src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	p := VariationParams{WidthSigma: 0.004, BufSigma: 0.03, SpatialFrac: 0.6, Samples: 30, Seed: 11}
+	bm := testutil.SmallBench(t, 120, 1500)
+	serial, built := testutil.BuildFlow(t, &smartndr.FlowConfig{Workers: 1}, bm)
+	parallel := smartndr.NewFlow(&smartndr.FlowConfig{Workers: 8})
+	p := smartndr.VariationParams{WidthSigma: 0.004, BufSigma: 0.03, SpatialFrac: 0.6, Samples: 30, Seed: 11}
 	a, err := serial.MonteCarlo(built.Tree, p)
 	if err != nil {
 		t.Fatal(err)
@@ -437,5 +362,85 @@ func TestFlowMonteCarloWorkersInvariance(t *testing.T) {
 	}
 	if a.P95Skew != b.P95Skew || a.MeanSkew != b.MeanSkew {
 		t.Error("summary stats differ across worker counts")
+	}
+}
+
+// TestFlowRunSpec exercises the context-accepting one-call entry point:
+// a background context runs the full pipeline, a cancelled context is
+// refused at the first phase boundary, and the result matches the
+// step-by-step form bit for bit.
+func TestFlowRunSpec(t *testing.T) {
+	spec := testutil.UniformSpec("runspec", 120, 1800, 42)
+	flow := smartndr.NewFlow(nil)
+	built, res, err := flow.RunSpec(context.Background(), spec, smartndr.SchemeSmart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built == nil || res == nil || res.Stats == nil {
+		t.Fatal("RunSpec returned incomplete results")
+	}
+	manual := testutil.RunScheme(t, nil, testutil.Gen(t, spec), smartndr.SchemeSmart)
+	if res.Metrics.Power.Total() != manual.Metrics.Power.Total() ||
+		res.Metrics.Skew != manual.Metrics.Skew ||
+		res.Metrics.SwitchedCap != manual.Metrics.SwitchedCap ||
+		res.Metrics.Wirelength != manual.Metrics.Wirelength {
+		t.Errorf("RunSpec metrics differ from manual pipeline:\n%+v\n%+v",
+			res.Metrics, manual.Metrics)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := flow.RunSpec(cancelled, spec, smartndr.SchemeSmart); err == nil {
+		t.Error("cancelled context must fail")
+	}
+	bad := spec
+	bad.Sinks = 0
+	if _, _, err := flow.RunSpec(context.Background(), bad, smartndr.SchemeSmart); err == nil {
+		t.Error("invalid spec must fail")
+	}
+}
+
+// TestFlowCanonicalKey pins the content-address contract: the key is
+// stable across calls and flows, insensitive to instrumentation and
+// throughput knobs, and sensitive to every result-determining input.
+func TestFlowCanonicalKey(t *testing.T) {
+	spec := testutil.UniformSpec("key", 100, 1500, 7)
+	key := func(cfg *smartndr.FlowConfig, sp smartndr.BenchSpec, sc smartndr.Scheme) string {
+		t.Helper()
+		k, err := smartndr.NewFlow(cfg).CanonicalKey(sp, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	base := key(nil, spec, smartndr.SchemeSmart)
+	if base == "" || base != key(nil, spec, smartndr.SchemeSmart) {
+		t.Fatal("key not stable across flows")
+	}
+	// Tracer and Workers are non-semantic: results are bit-identical, so
+	// the content address must collapse them.
+	traced := key(&smartndr.FlowConfig{
+		Tracer: smartndr.NewTracer(smartndr.NewTraceCollector()), Workers: 8,
+	}, spec, smartndr.SchemeSmart)
+	if traced != base {
+		t.Error("tracer/workers changed the canonical key")
+	}
+	// Every semantic input must move it.
+	if key(nil, spec, smartndr.SchemeBlanket) == base {
+		t.Error("scheme not in the key")
+	}
+	other := spec
+	other.Seed++
+	if key(nil, other, smartndr.SchemeSmart) == base {
+		t.Error("spec seed not in the key")
+	}
+	if key(&smartndr.FlowConfig{Tech: tech.Tech65()}, spec, smartndr.SchemeSmart) == base {
+		t.Error("technology not in the key")
+	}
+	if key(&smartndr.FlowConfig{TopK: 3}, spec, smartndr.SchemeSmart) == base {
+		t.Error("TopK not in the key")
+	}
+	if key(&smartndr.FlowConfig{InSlew: 50e-12}, spec, smartndr.SchemeSmart) == base {
+		t.Error("InSlew not in the key")
 	}
 }

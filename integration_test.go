@@ -1,4 +1,4 @@
-package smartndr
+package smartndr_test
 
 // End-to-end integration invariants: determinism and the cross-scheme
 // ordering the reproduction claims, exercised through the public facade
@@ -7,27 +7,18 @@ package smartndr
 import (
 	"math"
 	"testing"
+
+	"smartndr"
+	"smartndr/internal/testutil"
 )
 
 // TestPipelineDeterministic: identical seeds must give bit-identical
 // metrics across full pipeline runs — the property that makes every
 // experiment in EXPERIMENTS.md reproducible.
 func TestPipelineDeterministic(t *testing.T) {
-	run := func() Metrics {
-		bm, err := Benchmark("cns01")
-		if err != nil {
-			t.Fatal(err)
-		}
-		flow := NewFlow(nil)
-		built, err := flow.Build(bm.Sinks, bm.Src)
-		if err != nil {
-			t.Fatal(err)
-		}
-		r, err := flow.Apply(built, SchemeSmart)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return r.Metrics
+	run := func() smartndr.Metrics {
+		bm := testutil.Named(t, "cns01")
+		return testutil.RunScheme(t, nil, bm, smartndr.SchemeSmart).Metrics
 	}
 	a := run()
 	b := run()
@@ -41,26 +32,15 @@ func TestPipelineDeterministic(t *testing.T) {
 // exhibits: cap(all-default) ≤ cap(trunk) ≤ cap(blanket), smart below
 // blanket, and only smart guaranteed inside both bounds.
 func TestSchemeOrderingInvariants(t *testing.T) {
-	bm, err := Benchmark("cns02")
-	if err != nil {
-		t.Fatal(err)
+	bm := testutil.Named(t, "cns02")
+	flow, built := testutil.BuildFlow(t, nil, bm)
+	get := func(s smartndr.Scheme) smartndr.Metrics {
+		return testutil.Apply(t, flow, built, s).Metrics
 	}
-	flow := NewFlow(nil)
-	built, err := flow.Build(bm.Sinks, bm.Src)
-	if err != nil {
-		t.Fatal(err)
-	}
-	get := func(s Scheme) Metrics {
-		r, err := flow.Apply(built, s)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return r.Metrics
-	}
-	def := get(SchemeAllDefault)
-	trunk := get(SchemeTrunk)
-	blanket := get(SchemeBlanket)
-	smart := get(SchemeSmart)
+	def := get(smartndr.SchemeAllDefault)
+	trunk := get(smartndr.SchemeTrunk)
+	blanket := get(smartndr.SchemeBlanket)
+	smart := get(smartndr.SchemeSmart)
 
 	if !(def.SwitchedCap <= trunk.SwitchedCap && trunk.SwitchedCap <= blanket.SwitchedCap) {
 		t.Errorf("cap ordering broken: def %.3g trunk %.3g blanket %.3g",

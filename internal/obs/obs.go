@@ -55,11 +55,12 @@ func F(key string, value float64) Attr { return Attr{Key: key, Value: value} }
 // one with New; a nil *Tracer is the disabled tracer and every method
 // no-ops on it.
 type Tracer struct {
-	mu    sync.Mutex
-	sink  Sink
-	start time.Time
-	stack []*Span
-	reg   Registry
+	mu     sync.Mutex
+	sink   Sink
+	start  time.Time
+	stack  []*Span
+	reg    *Registry
+	scoped bool
 }
 
 // New returns a tracer emitting to the sink. A nil or no-op sink yields
@@ -71,7 +72,23 @@ func New(sink Sink) *Tracer {
 	if _, nop := sink.(nopSink); nop {
 		return nil
 	}
-	return &Tracer{sink: sink, start: time.Now()}
+	return &Tracer{sink: sink, start: time.Now(), reg: &Registry{}}
+}
+
+// Scoped returns a request-scoped view of t: a tracer with its own
+// ambient span stack that shares t's sink, registry, and time origin.
+// This is the form a concurrent server hands to each request — the
+// implicit innermost-open-span nesting stays isolated per request while
+// events land in the shared sink (on the owner's timeline) and counters
+// aggregate in the shared registry. Close on a scoped tracer is a no-op:
+// the owning tracer emits the metrics snapshot and closes the sink.
+// Scoped on a nil tracer returns nil, so a disabled service tracer
+// yields disabled request tracers for free.
+func (t *Tracer) Scoped() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{sink: t.sink, start: t.start, reg: t.reg, scoped: true}
 }
 
 // Enabled reports whether the tracer records anything.
@@ -115,18 +132,23 @@ func (t *Tracer) Gauge(name string, v float64) {
 }
 
 // Registry returns the tracer's metric registry (nil for a nil tracer;
-// Registry methods are nil-safe).
+// Registry methods are nil-safe). Scoped tracers share their owner's
+// registry.
 func (t *Tracer) Registry() *Registry {
 	if t == nil {
 		return nil
 	}
-	return &t.reg
+	return t.reg
 }
 
 // Close emits the registry snapshot as a synthetic "metrics" span event
-// (so JSONL streams stay homogeneous) and closes the sink.
+// (so JSONL streams stay homogeneous) and closes the sink. Closing a
+// scoped tracer is a no-op — the owner flushes the shared state.
 func (t *Tracer) Close() error {
 	if t == nil {
+		return nil
+	}
+	if t.scoped {
 		return nil
 	}
 	snap := t.reg.Snapshot()

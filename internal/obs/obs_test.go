@@ -247,3 +247,67 @@ func TestSpanChildNilSafe(t *testing.T) {
 		t.Error("nil span's Child must be nil")
 	}
 }
+
+// TestScopedTracerIsolatesStacks: two scoped tracers nest independently
+// (a request's spans never become children of another request's open
+// span) while events land in the shared sink and counters in the shared
+// registry.
+func TestScopedTracerIsolatesStacks(t *testing.T) {
+	col := NewCollector()
+	owner := New(col)
+	a := owner.Scoped()
+	b := owner.Scoped()
+
+	spA := a.Start("req", S("id", "a"))
+	spB := b.Start("req", S("id", "b")) // must be a root, not a child of spA
+	innerB := b.Start("work")
+	innerB.End()
+	spB.End()
+	spA.End()
+	a.Add("serve.requests", 1)
+	b.Add("serve.requests", 1)
+
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(col.Events()); got != 3 {
+		t.Fatalf("scoped Close must not flush metrics; events = %d", got)
+	}
+	if err := owner.Close(); err != nil {
+		t.Fatal(err)
+	}
+	paths := map[string]bool{}
+	var metrics map[string]any
+	for _, ev := range col.Events() {
+		paths[ev.Span] = true
+		if ev.Span == "metrics" {
+			metrics = ev.Attrs
+		}
+	}
+	for _, want := range []string{"req", "req/work"} {
+		if !paths[want] {
+			t.Errorf("span %q missing; got %v", want, paths)
+		}
+	}
+	if paths["req/req"] || paths["req/req/work"] {
+		t.Errorf("scoped stacks leaked across requests: %v", paths)
+	}
+	if metrics == nil || metrics["serve.requests"] != 2.0 {
+		t.Errorf("shared registry snapshot wrong: %v", metrics)
+	}
+	if owner.Registry() != a.Registry() {
+		t.Error("scoped tracer must share the owner's registry")
+	}
+}
+
+func TestScopedNilTracer(t *testing.T) {
+	var tr *Tracer
+	sc := tr.Scoped()
+	if sc != nil {
+		t.Fatal("Scoped on nil must be nil")
+	}
+	sc.Start("x").End()
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

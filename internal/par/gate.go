@@ -1,0 +1,85 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrSaturated is returned by Gate.Acquire when both the execution
+// slots and the wait line are full. Callers serving network traffic
+// should map it to a retryable 429/503-style refusal.
+var ErrSaturated = errors.New("par: gate saturated")
+
+// Gate is a bounded admission gate for request-serving layers: at most
+// `slots` callers hold the gate at once, at most `queue` more wait for
+// a slot, and any caller beyond that is refused immediately with
+// ErrSaturated instead of piling up unbounded goroutines. The zero
+// Gate is not usable; construct with NewGate.
+//
+// The fail-fast refusal is the point: under overload a server should
+// shed load at the door with an honest Retry-After rather than accept
+// work it will time out on. See internal/serve for the HTTP mapping.
+type Gate struct {
+	sem     chan struct{}
+	queue   int64
+	waiting atomic.Int64
+	held    atomic.Int64
+}
+
+// NewGate returns a gate with the given execution slots and wait-line
+// bound. slots < 1 is treated as 1; queue < 0 as 0 (refuse as soon as
+// every slot is busy).
+func NewGate(slots, queue int) *Gate {
+	if slots < 1 {
+		slots = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Gate{sem: make(chan struct{}, slots), queue: int64(queue)}
+}
+
+// Acquire claims an execution slot, waiting in the bounded line if all
+// slots are busy. It returns a release function that must be called
+// exactly once when the work finishes (calling it again is a no-op).
+// Acquire fails with ErrSaturated when the wait line is full, or with
+// ctx's error if the context ends while waiting.
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case g.sem <- struct{}{}:
+	default:
+		// Every slot is busy: join the wait line if it has room. The
+		// counter is incremented before the bound check so concurrent
+		// arrivals over-count rather than over-admit.
+		if g.waiting.Add(1) > g.queue {
+			g.waiting.Add(-1)
+			return nil, ErrSaturated
+		}
+		select {
+		case g.sem <- struct{}{}:
+			g.waiting.Add(-1)
+		case <-ctx.Done():
+			g.waiting.Add(-1)
+			return nil, ctx.Err()
+		}
+	}
+	g.held.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.held.Add(-1)
+			<-g.sem
+		})
+	}, nil
+}
+
+// Held reports how many callers currently hold the gate.
+func (g *Gate) Held() int { return int(g.held.Load()) }
+
+// Waiting reports how many callers are in the wait line.
+func (g *Gate) Waiting() int { return int(g.waiting.Load()) }
+
+// Slots returns the gate's execution-slot capacity.
+func (g *Gate) Slots() int { return cap(g.sem) }

@@ -1,0 +1,156 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestGateFastPath(t *testing.T) {
+	g := NewGate(2, 0)
+	rel1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Held() != 2 || g.Waiting() != 0 {
+		t.Fatalf("held=%d waiting=%d", g.Held(), g.Waiting())
+	}
+	// Both slots busy, no wait line: immediate refusal.
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("want ErrSaturated, got %v", err)
+	}
+	rel1()
+	rel1() // idempotent
+	rel2()
+	if g.Held() != 0 {
+		t.Fatalf("held=%d after release", g.Held())
+	}
+	if rel, err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	} else {
+		rel()
+	}
+}
+
+func TestGateWaitLine(t *testing.T) {
+	g := NewGate(1, 1)
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the line and blocks until the slot frees.
+	acquired := make(chan func())
+	go func() {
+		r, err := g.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+			close(acquired)
+			return
+		}
+		acquired <- r
+	}()
+	// Wait until the goroutine is actually in the line, then overflow it.
+	for g.Waiting() != 1 {
+		runtime.Gosched()
+	}
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("line full: want ErrSaturated, got %v", err)
+	}
+	rel()
+	r2 := <-acquired
+	if r2 == nil {
+		t.Fatal("waiter never acquired")
+	}
+	r2()
+}
+
+func TestGateContextCancelWhileWaiting(t *testing.T) {
+	g := NewGate(1, 4)
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx)
+		done <- err
+	}()
+	for g.Waiting() != 1 {
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if g.Waiting() != 0 {
+		t.Fatalf("waiting=%d after cancel", g.Waiting())
+	}
+}
+
+func TestGateClampsDegenerateBounds(t *testing.T) {
+	g := NewGate(0, -3)
+	if g.Slots() != 1 {
+		t.Fatalf("slots=%d, want 1", g.Slots())
+	}
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("want ErrSaturated, got %v", err)
+	}
+	rel()
+}
+
+// TestGateConcurrentStress hammers the gate from many goroutines under
+// -race: every admitted caller must observe Held ≤ slots, and all
+// releases must drain the gate back to empty.
+func TestGateConcurrentStress(t *testing.T) {
+	const slots, queue, callers = 4, 8, 64
+	g := NewGate(slots, queue)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		admitted int
+		maxHeld  int
+	)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := g.Acquire(context.Background())
+			if err != nil {
+				if !errors.Is(err, ErrSaturated) {
+					t.Error(err)
+				}
+				return
+			}
+			h := g.Held()
+			mu.Lock()
+			admitted++
+			if h > maxHeld {
+				maxHeld = h
+			}
+			mu.Unlock()
+			rel()
+		}()
+	}
+	wg.Wait()
+	if maxHeld > slots {
+		t.Fatalf("held %d > %d slots", maxHeld, slots)
+	}
+	if g.Held() != 0 || g.Waiting() != 0 {
+		t.Fatalf("gate not drained: held=%d waiting=%d", g.Held(), g.Waiting())
+	}
+	if admitted == 0 {
+		t.Fatal("no caller admitted")
+	}
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"smartndr/internal/testutil"
+)
+
+// differential tests run the real engine through the full HTTP path and
+// pin down the service's core promise: a cached response is the cold
+// response, byte for byte, and no amount of concurrency or fan-out
+// width changes the bytes.
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, v any) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, readBody(t, resp)
+}
+
+func TestServeFlowCachedResponseByteIdenticalAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is not a -short test")
+	}
+	// Two independent servers: warm hits on A must replay A's cold
+	// bytes, and a cold run on B must produce those same bytes — the
+	// cache is transparent and the engine is deterministic across
+	// server instances.
+	a := httptest.NewServer(New(Config{}).Handler())
+	defer a.Close()
+	b := httptest.NewServer(New(Config{}).Handler())
+	defer b.Close()
+
+	const seeds = 24
+	for i := 0; i < seeds; i++ {
+		seed := int64(1000 + 37*i)
+		spec := testutil.UniformSpec(fmt.Sprintf("diff%02d", i), 24, 600, seed)
+		req := &FlowRequest{Spec: &spec, Scheme: "smart-ndr"}
+
+		coldResp, cold := postJSON(t, a, "/v1/flow", req)
+		if coldResp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: cold status %d: %s", seed, coldResp.StatusCode, cold)
+		}
+		if got := coldResp.Header.Get("X-Cache"); got != CacheMiss {
+			t.Fatalf("seed %d: cold X-Cache %q", seed, got)
+		}
+
+		warmResp, warm := postJSON(t, a, "/v1/flow", req)
+		if got := warmResp.Header.Get("X-Cache"); got != CacheHit {
+			t.Fatalf("seed %d: warm X-Cache %q", seed, got)
+		}
+		if !bytes.Equal(cold, warm) {
+			t.Errorf("seed %d: warm response differs from cold:\n%s\n%s", seed, cold, warm)
+		}
+
+		_, other := postJSON(t, b, "/v1/flow", req)
+		if !bytes.Equal(cold, other) {
+			t.Errorf("seed %d: fresh server produced different bytes:\n%s\n%s", seed, cold, other)
+		}
+	}
+}
+
+func TestServeSweepWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is not a -short test")
+	}
+	spec := testutil.UniformSpec("sweepdiff", 40, 800, 7)
+	arms := []SweepArm{
+		{Scheme: "all-default"},
+		{Scheme: "blanket", Corner: "slow"},
+		{Scheme: "top-k", Corner: "fast"},
+		{Scheme: "trunk"},
+		{Scheme: "smart", Corner: "typ"},
+	}
+	// Separate servers so both runs are cold — the sweep key excludes
+	// Workers, so on one server the second request would be a cache hit
+	// and the comparison vacuous.
+	serial := httptest.NewServer(New(Config{}).Handler())
+	defer serial.Close()
+	parallel := httptest.NewServer(New(Config{}).Handler())
+	defer parallel.Close()
+
+	r1, body1 := postJSON(t, serial, "/v1/sweep", &SweepRequest{Spec: &spec, Arms: arms, Workers: 1})
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("workers=1 status %d: %s", r1.StatusCode, body1)
+	}
+	r8, body8 := postJSON(t, parallel, "/v1/sweep", &SweepRequest{Spec: &spec, Arms: arms, Workers: 8})
+	if r8.StatusCode != http.StatusOK {
+		t.Fatalf("workers=8 status %d: %s", r8.StatusCode, body8)
+	}
+	if !bytes.Equal(body1, body8) {
+		t.Fatalf("sweep bytes differ between workers=1 and workers=8:\n%s\n%s", body1, body8)
+	}
+	if r1.Header.Get("X-Key") != r8.Header.Get("X-Key") {
+		t.Errorf("sweep keys differ across worker counts: %s vs %s",
+			r1.Header.Get("X-Key"), r8.Header.Get("X-Key"))
+	}
+
+	var out SweepResponse
+	if err := json.Unmarshal(body1, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Arms) != len(arms) {
+		t.Fatalf("got %d arm results, want %d", len(out.Arms), len(arms))
+	}
+	// Results come back in arm order (registry order), not completion
+	// order.
+	wantSchemes := []string{"all-default", "blanket-ndr", "top-k", "trunk-ndr", "smart-ndr"}
+	for i, arm := range out.Arms {
+		if arm.Scheme != wantSchemes[i] {
+			t.Errorf("arm %d scheme = %q, want %q", i, arm.Scheme, wantSchemes[i])
+		}
+	}
+	for i, arm := range out.Arms {
+		wantCorner := arms[i].Corner
+		if (arm.Corner != nil) != (wantCorner != "") {
+			t.Errorf("arm %d corner presence mismatch", i)
+			continue
+		}
+		if arm.Corner != nil && arm.Corner.Corner != wantCorner {
+			t.Errorf("arm %d corner = %q, want %q", i, arm.Corner.Corner, wantCorner)
+		}
+	}
+}

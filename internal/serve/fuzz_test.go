@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeFlowRequest hammers the strict decoder with arbitrary
+// bytes. Anything it accepts must satisfy the wire contract: the
+// request re-encodes and re-decodes to the same value (no lossy
+// fields), and the content address is computable and stable across the
+// round trip — the property the result cache is built on.
+func FuzzDecodeFlowRequest(f *testing.F) {
+	f.Add([]byte(`{"bench":"cns01"}`))
+	f.Add([]byte(`{"bench":"cns03","scheme":"blanket-ndr","tech":"tech65","top_k":3,"in_slew_ps":50,"timeout_ms":2000}`))
+	f.Add([]byte(`{"spec":{"name":"x","sinks":40,"die_x":900,"die_y":900,"seed":7,"cap_min":1e-15,"cap_max":3e-15}}`))
+	f.Add([]byte(`{"bench":"cns01","bogus":1}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"bench":"cns01"} trailing`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeFlowRequest(data)
+		if err != nil {
+			return // rejected input: nothing further to hold
+		}
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not re-encode: %v", err)
+		}
+		req2, err := DecodeFlowRequest(out)
+		if err != nil {
+			t.Fatalf("re-encoded request rejected: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(req, req2) {
+			t.Fatalf("lossy round trip:\n%+v\n%+v", req, req2)
+		}
+		fr := &FlowRunner{}
+		k1, err := fr.FlowKey(req)
+		if err != nil {
+			t.Fatalf("accepted request has no content address: %v", err)
+		}
+		k2, err := fr.FlowKey(req2)
+		if err != nil || k1 != k2 {
+			t.Fatalf("content address unstable across round trip: %q vs %q (%v)", k1, k2, err)
+		}
+	})
+}
+
+// FuzzDecodeSweepRequest is FuzzDecodeFlowRequest for the sweep wire
+// form, including the arm list.
+func FuzzDecodeSweepRequest(f *testing.F) {
+	f.Add([]byte(`{"bench":"cns01","arms":[{"scheme":"smart"}]}`))
+	f.Add([]byte(`{"bench":"cns02","workers":4,"arms":[{"scheme":"smart","corner":"slow"},{"scheme":"blanket","corner":"fast"},{"scheme":"top-k"}]}`))
+	f.Add([]byte(`{"spec":{"name":"x","sinks":20,"die_x":500,"die_y":500,"seed":1,"cap_min":1e-15,"cap_max":2e-15},"arms":[{"scheme":"trunk"}]}`))
+	f.Add([]byte(`{"bench":"cns01","arms":[]}`))
+	f.Add([]byte(`{"arms":[{"scheme":"psychic"}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeSweepRequest(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not re-encode: %v", err)
+		}
+		req2, err := DecodeSweepRequest(out)
+		if err != nil {
+			t.Fatalf("re-encoded request rejected: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(req, req2) {
+			t.Fatalf("lossy round trip:\n%+v\n%+v", req, req2)
+		}
+		fr := &FlowRunner{}
+		k1, err := fr.SweepKey(req)
+		if err != nil {
+			t.Fatalf("accepted request has no content address: %v", err)
+		}
+		k2, err := fr.SweepKey(req2)
+		if err != nil || k1 != k2 {
+			t.Fatalf("content address unstable across round trip: %q vs %q (%v)", k1, k2, err)
+		}
+	})
+}

@@ -1,0 +1,412 @@
+// Package serve is the long-running flow service behind cmd/smartndrd:
+// an HTTP/JSON layer over the smartndr engine that amortizes work
+// across requests instead of paying full synthesis cost per CLI
+// invocation.
+//
+// Four endpoints:
+//
+//	POST /v1/flow    run one benchmark through one scheme → metrics
+//	POST /v1/sweep   scheme×corner arm batch against one shared tree
+//	GET  /v1/healthz liveness (503 while draining)
+//	GET  /v1/statsz  counters, cache and admission state, uptime
+//
+// Three service properties hold regardless of the engine underneath:
+//
+//   - Content-addressed caching. Every result body is keyed by a
+//     canonical hash of (spec, technology, library, scheme, knobs); a
+//     warm hit replays the exact bytes of the cold run, and concurrent
+//     identical requests collapse onto one execution (singleflight).
+//     Soundness rests on the engine's bit-identical determinism.
+//   - Admission control. A bounded gate (par.Gate) caps concurrent
+//     runs and the wait line; beyond that the server refuses with 429
+//     and Retry-After rather than queueing unboundedly. Every request
+//     runs under a deadline.
+//   - Graceful drain. Drain stops admission (503 + Retry-After),
+//     lets in-flight requests finish, and then returns, so SIGTERM
+//     never truncates a run.
+//
+// Responses carry no volatile fields — cache outcome (hit|miss|shared)
+// travels in the X-Cache header and on the request's span tree, which
+// is tagged with the canonical key, cache outcome, and status. The
+// wall clock is used only for operational metadata (deadlines,
+// Retry-After, uptime); result bytes never depend on it. See
+// docs/service.md.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smartndr/internal/obs"
+	"smartndr/internal/par"
+)
+
+// Config parameterizes a Server. The zero value serves with defaults
+// sized for one machine.
+type Config struct {
+	// Runner executes requests; nil selects the production FlowRunner.
+	Runner Runner
+	// MaxConcurrent caps requests executing at once (default: all
+	// cores). Cache hits bypass the gate — they are pure lookups.
+	MaxConcurrent int
+	// QueueDepth caps requests waiting for a slot before the server
+	// refuses with 429 (default: 2×MaxConcurrent).
+	QueueDepth int
+	// RequestTimeout is the per-request deadline; a request's
+	// timeout_ms may shorten but never extend it (default 120s).
+	RequestTimeout time.Duration
+	// RetryAfter is the hint sent with 429/503 refusals (default 1s,
+	// rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+	// CacheEntries bounds the result cache (default 256).
+	CacheEntries int
+	// Workers bounds per-request sweep fan-out for the default runner
+	// (0 = all cores).
+	Workers int
+	// Tracer, when non-nil, records one span tree per request plus
+	// service counters. Each request gets a scoped view, so concurrent
+	// requests never interleave their span nesting.
+	Tracer *obs.Tracer
+	// Now overrides the clock (tests). Nil uses the real clock.
+	Now func() time.Time
+}
+
+// Server is the flow service. Create with New, expose via Handler, and
+// stop with Drain.
+type Server struct {
+	runner     Runner
+	gate       *par.Gate
+	cache      *Cache
+	mux        *http.ServeMux
+	tr         *obs.Tracer
+	reg        *obs.Registry
+	timeout    time.Duration
+	retryAfter time.Duration
+	now        func() time.Time
+	start      time.Time
+	reqID      atomic.Int64
+
+	stateMu  sync.Mutex
+	draining bool
+	inflight int
+	idle     chan struct{} // open while draining with requests in flight
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.MaxConcurrent
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 120 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = &FlowRunner{Workers: cfg.Workers}
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	reg := cfg.Tracer.Registry()
+	if reg == nil {
+		// Counters stay useful (statsz) even when tracing is off.
+		reg = &obs.Registry{}
+	}
+	s := &Server{
+		runner:     cfg.Runner,
+		gate:       par.NewGate(cfg.MaxConcurrent, cfg.QueueDepth),
+		tr:         cfg.Tracer,
+		reg:        reg,
+		timeout:    cfg.RequestTimeout,
+		retryAfter: cfg.RetryAfter,
+		now:        now,
+	}
+	s.start = s.now()
+	s.cache = NewCache(cfg.CacheEntries, s.reg)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/flow", s.handleFlow)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/statsz", s.handleStatsz)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the result cache (tests and statsz).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return s.draining
+}
+
+// admit registers a request unless the server is draining.
+func (s *Server) admit() bool {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+// depart retires an admitted request, releasing Drain when the last
+// one finishes.
+func (s *Server) depart() {
+	s.stateMu.Lock()
+	s.inflight--
+	if s.inflight == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+	s.stateMu.Unlock()
+}
+
+// Drain stops admitting work and waits for in-flight requests to
+// finish (or ctx to end). After Drain begins, /v1/flow and /v1/sweep
+// refuse with 503 + Retry-After and /v1/healthz reports 503, so load
+// balancers stop routing here while the tail completes. Idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.stateMu.Lock()
+	s.draining = true
+	if s.inflight > 0 && s.idle == nil {
+		s.idle = make(chan struct{})
+	}
+	idle := s.idle
+	s.stateMu.Unlock()
+	if idle == nil {
+		return nil
+	}
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted with requests in flight: %w", ctx.Err())
+	}
+}
+
+// handleFlow serves POST /v1/flow.
+func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
+	s.handleRun(w, r, "serve.flow", func(body []byte) (string, loader, time.Duration, error) {
+		req, err := DecodeFlowRequest(body)
+		if err != nil {
+			return "", nil, 0, err
+		}
+		key, err := s.runner.FlowKey(req)
+		if err != nil {
+			return "", nil, 0, err
+		}
+		return key, func(ctx context.Context, tr *obs.Tracer) (any, error) {
+			return s.runner.RunFlow(ctx, req, tr)
+		}, s.resolveTimeout(req.TimeoutMS), nil
+	})
+}
+
+// handleSweep serves POST /v1/sweep.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.handleRun(w, r, "serve.sweep", func(body []byte) (string, loader, time.Duration, error) {
+		req, err := DecodeSweepRequest(body)
+		if err != nil {
+			return "", nil, 0, err
+		}
+		key, err := s.runner.SweepKey(req)
+		if err != nil {
+			return "", nil, 0, err
+		}
+		return key, func(ctx context.Context, tr *obs.Tracer) (any, error) {
+			return s.runner.RunSweep(ctx, req, tr)
+		}, s.resolveTimeout(req.TimeoutMS), nil
+	})
+}
+
+// loader executes one admitted request under the request-scoped tracer.
+type loader func(ctx context.Context, tr *obs.Tracer) (any, error)
+
+// resolveTimeout clamps a request's timeout_ms against the server
+// bound: requests may shorten their deadline, never extend it.
+func (s *Server) resolveTimeout(ms int) time.Duration {
+	if ms <= 0 {
+		return s.timeout
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.timeout {
+		return s.timeout
+	}
+	return d
+}
+
+// handleRun is the shared request path: decode → key → cache/flight →
+// admission → run → respond. Every outcome lands on one request span
+// tagged with the canonical key, cache outcome, and HTTP status.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request,
+	spanName string, prepare func(body []byte) (string, loader, time.Duration, error)) {
+
+	if r.Method != http.MethodPost {
+		s.writeError(w, nil, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s needs POST", r.URL.Path))
+		return
+	}
+	if !s.admit() {
+		s.refuse(w, nil, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer s.depart()
+	s.reg.Add("serve.requests", 1)
+
+	rtr := s.tr.Scoped()
+	sp := rtr.Start(spanName, obs.I("req", int(s.reqID.Add(1))))
+	defer sp.End()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		s.writeError(w, sp, http.StatusBadRequest, fmt.Errorf("serve: reading body: %w", err))
+		return
+	}
+	key, run, timeout, err := prepare(body)
+	if err != nil {
+		s.writeError(w, sp, http.StatusBadRequest, err)
+		return
+	}
+	sp.Set("key", key)
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	bytesOut, outcome, err := s.cache.Do(ctx, key, func() ([]byte, error) {
+		// Cache miss: this call owns the execution. Admission happens
+		// here so hits and followers never consume a slot.
+		release, err := s.gate.Acquire(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		out, err := run(ctx, rtr)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(out)
+	})
+	sp.Set("cache", outcome)
+	if err != nil {
+		switch {
+		case errors.Is(err, par.ErrSaturated):
+			s.reg.Add("serve.saturated", 1)
+			s.refuse(w, sp, http.StatusTooManyRequests, "saturated")
+		case errors.Is(err, context.DeadlineExceeded):
+			s.reg.Add("serve.timeouts", 1)
+			s.writeError(w, sp, http.StatusGatewayTimeout, err)
+		case errors.Is(err, context.Canceled):
+			s.writeError(w, sp, http.StatusServiceUnavailable, err)
+		default:
+			s.writeError(w, sp, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	sp.Set("status", http.StatusOK)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", outcome)
+	w.Header().Set("X-Key", key)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(bytesOut)
+}
+
+// handleHealthz serves GET /v1/healthz: 200 while serving, 503 while
+// draining (so orchestration stops routing before shutdown).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, nil, http.StatusMethodNotAllowed, fmt.Errorf("serve: healthz needs GET"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if s.Draining() {
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+		return
+	}
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+// Statsz is the /v1/statsz body: a point-in-time operational snapshot.
+type Statsz struct {
+	UptimeMS int64              `json:"uptime_ms"`
+	Draining bool               `json:"draining"`
+	InFlight int                `json:"in_flight"`
+	Waiting  int                `json:"waiting"`
+	Slots    int                `json:"slots"`
+	CacheLen int                `json:"cache_len"`
+	CacheCap int                `json:"cache_cap"`
+	Counters map[string]float64 `json:"counters,omitempty"`
+}
+
+// handleStatsz serves GET /v1/statsz.
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, nil, http.StatusMethodNotAllowed, fmt.Errorf("serve: statsz needs GET"))
+		return
+	}
+	st := Statsz{
+		UptimeMS: s.now().Sub(s.start).Milliseconds(),
+		Draining: s.Draining(),
+		InFlight: s.gate.Held(),
+		Waiting:  s.gate.Waiting(),
+		Slots:    s.gate.Slots(),
+		CacheLen: s.cache.Len(),
+		CacheCap: s.cache.Cap(),
+		Counters: s.reg.Snapshot(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(st)
+}
+
+// refuse writes a retryable refusal (429 saturated / 503 draining)
+// with a Retry-After hint.
+func (s *Server) refuse(w http.ResponseWriter, sp *obs.Span, status int, reason string) {
+	sp.Set("status", status)
+	sp.Set("refused", reason)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", s.retryAfterSeconds())
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: "serve: " + reason + ", retry later"})
+}
+
+func (s *Server) writeError(w http.ResponseWriter, sp *obs.Span, status int, err error) {
+	sp.Set("status", status)
+	sp.Set("error", err.Error())
+	s.reg.Add("serve.errors", 1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+// retryAfterSeconds renders the hint as whole seconds, rounding up —
+// Retry-After's wire grammar has no sub-second form.
+func (s *Server) retryAfterSeconds() string {
+	secs := int((s.retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

@@ -1,0 +1,92 @@
+// Package testutil holds the flow-setup boilerplate shared by the
+// facade tests, the integration tests, and the service tests: spec
+// construction, benchmark generation, and build/apply steps that fail
+// the test instead of returning errors. Keeping them here means a new
+// test suite starts at "what do I want to assert" instead of re-deriving
+// the same five lines of setup.
+//
+// The helpers live outside the root package so external test packages
+// (package smartndr_test, package serve_test) can import them without an
+// import cycle; they intentionally expose only the public smartndr
+// facade plus workload types.
+package testutil
+
+import (
+	"testing"
+
+	"smartndr"
+	"smartndr/internal/workload"
+)
+
+// UniformSpec returns a small uniform-distribution benchmark spec with
+// the cap range and naming the repo's tests have always used. Seed is
+// explicit because differential tests sweep it.
+func UniformSpec(name string, n int, die float64, seed int64) smartndr.BenchSpec {
+	return smartndr.BenchSpec{
+		Name: name, Dist: workload.Uniform, Sinks: n, DieX: die, DieY: die,
+		CapMin: 1e-15, CapMax: 3e-15, Seed: seed,
+	}
+}
+
+// Gen generates the benchmark for spec, failing the test on error.
+func Gen(tb testing.TB, spec smartndr.BenchSpec) *workload.Benchmark {
+	tb.Helper()
+	bm, err := smartndr.GenerateBenchmark(spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return bm
+}
+
+// SmallBench generates the historical quick facade benchmark: n uniform
+// sinks on a die×die floorplan, seed 42.
+func SmallBench(tb testing.TB, n int, die float64) *workload.Benchmark {
+	tb.Helper()
+	return Gen(tb, UniformSpec("t", n, die, 42))
+}
+
+// Named loads a built-in benchmark (cns01…cns08), failing on error.
+func Named(tb testing.TB, name string) *workload.Benchmark {
+	tb.Helper()
+	bm, err := smartndr.Benchmark(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return bm
+}
+
+// Build synthesizes the clock tree for the benchmark, failing on error.
+func Build(tb testing.TB, f *smartndr.Flow, bm *workload.Benchmark) *smartndr.Built {
+	tb.Helper()
+	built, err := f.Build(bm.Sinks, bm.Src)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return built
+}
+
+// Apply applies the scheme to the built tree, failing on error.
+func Apply(tb testing.TB, f *smartndr.Flow, b *smartndr.Built, s smartndr.Scheme) *smartndr.Result {
+	tb.Helper()
+	r, err := f.Apply(b, s)
+	if err != nil {
+		tb.Fatalf("%v: %v", s, err)
+	}
+	return r
+}
+
+// BuildFlow is NewFlow(cfg) + Build in one call for tests that only
+// need the synthesized tree.
+func BuildFlow(tb testing.TB, cfg *smartndr.FlowConfig, bm *workload.Benchmark) (*smartndr.Flow, *smartndr.Built) {
+	tb.Helper()
+	f := smartndr.NewFlow(cfg)
+	return f, Build(tb, f, bm)
+}
+
+// RunScheme runs the full NewFlow → Build → Apply pipeline on the
+// benchmark and returns the scheme's result.
+func RunScheme(tb testing.TB, cfg *smartndr.FlowConfig, bm *workload.Benchmark, s smartndr.Scheme) *smartndr.Result {
+	tb.Helper()
+	f, built := BuildFlow(tb, cfg, bm)
+	return Apply(tb, f, built, s)
+}

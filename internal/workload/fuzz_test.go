@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSpecCanonical drives the canonical serialization with arbitrary
+// field values and checks the properties cache keys rely on:
+// determinism (same spec → same bytes, always), injectivity under
+// single-field mutation, and a well-formed 64-hex-digit hash — even for
+// hostile values (NaN, infinities, control characters in names) that a
+// JSON-based encoding would choke on or collapse.
+func FuzzSpecCanonical(f *testing.F) {
+	f.Add("cns01", int64(42), 16, 600.0, 600.0, 1e-15, 3e-15, 0, 0)
+	f.Add("", int64(0), 0, 0.0, 0.0, 0.0, 0.0, 0, 0)
+	f.Add("weird\x00name\"|", int64(-1), 1<<20, -1.5, 2.25e300, 1e-300, 5e-15, 7, 3)
+	f.Fuzz(func(t *testing.T, name string, seed int64, sinks int,
+		dieX, dieY, capMin, capMax float64, clusters, dist int) {
+
+		s := Spec{
+			Name: name, Dist: Distribution(dist), Sinks: sinks,
+			DieX: dieX, DieY: dieY, CapMin: capMin, CapMax: capMax,
+			Seed: seed, Clusters: clusters,
+		}
+		c1 := s.Canonical()
+		c2 := s.Canonical()
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("Canonical not deterministic:\n%q\n%q", c1, c2)
+		}
+		h := s.Hash()
+		if len(h) != 64 {
+			t.Fatalf("Hash length %d, want 64 hex digits", len(h))
+		}
+		if s.Hash() != h {
+			t.Fatal("Hash not deterministic")
+		}
+		// Any single-field mutation must move the content address.
+		m := s
+		m.Seed++
+		if m.Hash() == h {
+			t.Fatalf("seed mutation did not change the hash (spec %+v)", s)
+		}
+		m = s
+		m.Sinks++
+		if m.Hash() == h {
+			t.Fatalf("sink-count mutation did not change the hash (spec %+v)", s)
+		}
+		m = s
+		m.Name += "x"
+		if m.Hash() == h {
+			t.Fatalf("name mutation did not change the hash (spec %+v)", s)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"smartndr/internal/ctree"
+	"smartndr/internal/geom"
+)
+
+func TestSpecCanonicalDeterministic(t *testing.T) {
+	for _, s := range CNSSuite() {
+		a, b := s.Canonical(), s.Canonical()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: canonical bytes differ across calls", s.Name)
+		}
+		if s.Hash() != s.Hash() {
+			t.Fatalf("%s: hash differs across calls", s.Name)
+		}
+	}
+}
+
+func TestSpecHashSeparatesSpecs(t *testing.T) {
+	seen := map[string]string{}
+	for _, s := range CNSSuite() {
+		h := s.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("specs %s and %s collide", prev, s.Name)
+		}
+		seen[h] = s.Name
+	}
+	// Every result-determining field must move the hash.
+	base := CNSSuite()[0]
+	mutations := []func(*Spec){
+		func(s *Spec) { s.Name = "other" },
+		func(s *Spec) { s.Dist = Clustered },
+		func(s *Spec) { s.Sinks++ },
+		func(s *Spec) { s.DieX += 1 },
+		func(s *Spec) { s.DieY += 1 },
+		func(s *Spec) { s.CapMin *= 2 },
+		func(s *Spec) { s.CapMax *= 2 },
+		func(s *Spec) { s.Seed++ },
+		func(s *Spec) { s.Clusters = 7 },
+	}
+	for i, mut := range mutations {
+		m := base
+		mut(&m)
+		if m.Hash() == base.Hash() {
+			t.Errorf("mutation %d did not change the hash", i)
+		}
+	}
+}
+
+func TestHashSinksOrderAndContentSensitive(t *testing.T) {
+	a := []ctree.Sink{
+		{Name: "s0", Loc: geom.Point{X: 1, Y: 2}, Cap: 1e-15},
+		{Name: "s1", Loc: geom.Point{X: 3, Y: 4}, Cap: 2e-15},
+	}
+	if HashSinks(a) != HashSinks(a) {
+		t.Fatal("HashSinks not deterministic")
+	}
+	swapped := []ctree.Sink{a[1], a[0]}
+	if HashSinks(a) == HashSinks(swapped) {
+		t.Error("sink order must change the hash (results are order dependent)")
+	}
+	bumped := []ctree.Sink{a[0], {Name: "s1", Loc: geom.Point{X: 3, Y: 4}, Cap: 3e-15}}
+	if HashSinks(a) == HashSinks(bumped) {
+		t.Error("sink cap must change the hash")
+	}
+	if HashSinks(nil) == HashSinks(a) {
+		t.Error("empty sink set must differ")
+	}
+	// A spec hash and a sink hash over related content must never
+	// collide — the domain prefix separates them.
+	if CNSSuite()[0].Hash() == HashSinks(nil) {
+		t.Error("spec and sink hash domains collide")
+	}
+}
