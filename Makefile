@@ -34,7 +34,8 @@ fmt:
 	fi
 
 # The repo's own analyzer suite (internal/analysis, docs/static-analysis.md):
-# maporder, seededrand, wallclock, spanhygiene, floatorder. Must exit clean.
+# maporder, seededrand, wallclock, spanhygiene, floatorder, metricname.
+# Must exit clean.
 lint:
 	$(GO) run ./cmd/smartndrlint ./...
 

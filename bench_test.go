@@ -131,6 +131,13 @@ func BenchmarkFlowSmartTraced(b *testing.B) {
 	benchFlowSmart(b, NewFlow(&FlowConfig{Tracer: NewTracer(col)}))
 }
 
+// BenchmarkFlowSmartHistogram prices full telemetry aggregation: every
+// span lands in a per-path latency histogram (the smartndrd /metricsz
+// path) instead of an unbounded event buffer.
+func BenchmarkFlowSmartHistogram(b *testing.B) {
+	benchFlowSmart(b, NewFlow(&FlowConfig{Tracer: NewTracer(NewSpanObserver(nil))}))
+}
+
 // Monte Carlo benchmarks: trial-scaling across worker counts plus the
 // allocation profile (run with -benchmem). Results are identical at any
 // worker count — the determinism test proves it — so these measure pure

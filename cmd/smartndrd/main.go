@@ -9,16 +9,22 @@
 //	smartndrd -addr localhost:8147 -max-concurrent 4 -queue-depth 8
 //	smartndrd -trace spans.jsonl -request-timeout 30s
 //
-// Endpoints (see docs/service.md):
+// Endpoints (see docs/service.md and docs/observability.md):
 //
 //	POST /v1/flow     run one benchmark through one scheme
 //	POST /v1/sweep    scheme×corner arm batch on one shared tree
 //	GET  /v1/healthz  liveness (503 while draining)
-//	GET  /v1/statsz   counters, cache and admission state
+//	GET  /v1/statsz   counters, latency percentiles, cache and admission state
+//	GET  /v1/tracez   slowest + most recent request span trees
+//	GET  /metricsz    Prometheus text exposition (counters, gauges, histograms)
 //
-// On SIGTERM or SIGINT the daemon stops admitting work (new requests
-// get 503 + Retry-After), lets in-flight requests finish up to
-// -drain-timeout, then exits.
+// Telemetry is on by default: -metrics wires a span observer into the
+// tracer chain so every request and engine phase lands in a latency
+// histogram, and -tracez-capacity bounds the /v1/tracez buffer
+// (0 disables the endpoint). -pprof serves net/http/pprof on a
+// separate address. On SIGTERM or SIGINT the daemon stops admitting
+// work (new requests get 503 + Retry-After), lets in-flight requests
+// finish up to -drain-timeout, then exits.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,25 +67,51 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	workers := fs.Int("workers", 0, "sweep-arm fan-out bound (0 = all cores; results identical at any count)")
 	traceFile := fs.String("trace", "", "write span events as JSON lines to this file")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+	metrics := fs.Bool("metrics", true, "aggregate span latencies into /metricsz histograms")
+	tracezCap := fs.Int("tracez-capacity", 64, "request span trees retained for /v1/tracez (0 disables)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var tracer *obs.Tracer
-	closeTrace := func() error { return nil }
+	startPprof(*pprofAddr, stderr)
+
+	// The sink chain: an optional JSONL file sink, wrapped (when -metrics
+	// is on) by a SpanObserver that folds every completed span into a
+	// per-path latency histogram on the way through. The observer must be
+	// the tracer's direct sink so it sees all spans, including ones from
+	// request-scoped tracers.
+	var (
+		tracer  *obs.Tracer
+		spanObs *obs.SpanObserver
+		sink    obs.Sink
+		f       *os.File
+	)
 	if *traceFile != "" {
-		f, err := os.Create(*traceFile)
-		if err != nil {
+		var err error
+		if f, err = os.Create(*traceFile); err != nil {
 			return fmt.Errorf("trace: %w", err)
 		}
-		tracer = obs.New(obs.NewJSONL(f))
-		closeTrace = func() error {
-			if err := tracer.Close(); err != nil {
-				f.Close()
-				return err
-			}
-			return f.Close()
+		sink = obs.NewJSONL(f)
+	}
+	if *metrics {
+		spanObs = obs.NewSpanObserver(sink)
+		sink = spanObs
+	}
+	if sink != nil {
+		tracer = obs.New(sink)
+	}
+	closeTrace := func() error {
+		var err error
+		if tracer != nil {
+			err = tracer.Close()
 		}
+		if f != nil {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		return err
 	}
 
 	srv := serve.New(serve.Config{
@@ -89,6 +122,8 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 		CacheEntries:   *cacheEntries,
 		Workers:        *workers,
 		Tracer:         tracer,
+		SpanObs:        spanObs,
+		TracezCapacity: *tracezCap,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -132,4 +167,18 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 		fmt.Fprintln(stderr, "smartndrd: trace:", err)
 	}
 	return drainErr
+}
+
+// startPprof serves net/http/pprof on addr when non-empty, on its own
+// listener so profiling never shares a port with the service mux.
+func startPprof(addr string, stderr io.Writer) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "smartndrd: pprof:", err)
+		}
+	}()
+	fmt.Fprintf(stderr, "smartndrd: pprof on http://%s/debug/pprof/\n", addr)
 }

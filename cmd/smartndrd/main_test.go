@@ -92,6 +92,101 @@ func TestDaemonWritesTrace(t *testing.T) {
 	}
 }
 
+func TestDaemonTelemetryEndpoints(t *testing.T) {
+	base, shutdown := startDaemon(t)
+	defer shutdown()
+
+	body := `{"spec":{"name":"tz","sinks":8,"die_x":200,"die_y":200,"seed":2,"cap_min":1e-15,"cap_max":3e-15}}`
+	resp, err := http.Post(base+"/v1/flow", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flow = %d", resp.StatusCode)
+	}
+
+	// /metricsz: full Prometheus exposition, request + span histograms.
+	resp, err = http.Get(base + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metricsz = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"smartndr_serve_requests_total 1",
+		"smartndr_serve_flow_cold_seconds_count 1",
+		`smartndr_span_duration_seconds_count{path="serve.flow"} 1`,
+		"smartndr_go_goroutines",
+	} {
+		if !strings.Contains(string(expo), want) {
+			t.Errorf("daemon exposition missing %q", want)
+		}
+	}
+
+	// /v1/tracez: the request's span tree is retained by default.
+	resp, err = http.Get(base + "/v1/tracez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tz, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tracez = %d: %s", resp.StatusCode, tz)
+	}
+	var page struct {
+		Capacity int `json:"capacity"`
+		Total    int `json:"total"`
+		Slowest  []struct {
+			Endpoint string `json:"endpoint"`
+			Spans    []struct {
+				Span string `json:"span"`
+			} `json:"spans"`
+		} `json:"slowest"`
+	}
+	if err := json.Unmarshal(tz, &page); err != nil {
+		t.Fatalf("tracez not JSON: %v: %s", err, tz)
+	}
+	if page.Capacity != 64 || page.Total != 1 || len(page.Slowest) != 1 {
+		t.Errorf("tracez page = %+v", page)
+	}
+	if len(page.Slowest) == 1 &&
+		(len(page.Slowest[0].Spans) == 0 || page.Slowest[0].Spans[0].Span != "serve.flow") {
+		t.Errorf("tracez slowest spans = %+v, want serve.flow root", page.Slowest[0].Spans)
+	}
+}
+
+func TestDaemonTelemetryDisabled(t *testing.T) {
+	base, shutdown := startDaemon(t, "-metrics=false", "-tracez-capacity", "0")
+	defer shutdown()
+
+	// Tracez is gone; metricsz still serves the (span-free) registry.
+	resp, err := http.Get(base + "/v1/tracez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("disabled tracez = %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metricsz = %d", resp.StatusCode)
+	}
+	if strings.Contains(string(expo), "smartndr_span_duration_seconds") {
+		t.Error("span histograms present with -metrics=false")
+	}
+}
+
 func TestDaemonBadFlags(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}, io.Discard, nil, nil); err == nil {
 		t.Fatal("bad flag accepted")

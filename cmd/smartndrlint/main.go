@@ -1,7 +1,8 @@
 // Command smartndrlint runs the repo's static-analysis suite
-// (internal/analysis) over the given packages: five analyzers that
-// enforce the determinism, tracing, and units contracts — maporder,
-// seededrand, wallclock, spanhygiene, floatorder. It exits nonzero
+// (internal/analysis) over the given packages: six analyzers that
+// enforce the determinism, tracing, telemetry, and units contracts —
+// maporder, seededrand, wallclock, spanhygiene, floatorder,
+// metricname. It exits nonzero
 // when any finding survives the //lint: annotations, so `make lint`
 // and CI gate on a clean tree. See docs/static-analysis.md.
 //

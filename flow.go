@@ -69,6 +69,20 @@ func NewTreeSink(w io.Writer) TraceSink { return obs.NewTree(w) }
 // report.TimingTable or custom analysis.
 func NewTraceCollector() *TraceCollector { return obs.NewCollector() }
 
+// SpanObserver is a sink tee that folds every completed span into a
+// per-path latency histogram on its way to the next sink (nil for
+// aggregation only). Snapshot exposes the distributions.
+type SpanObserver = obs.SpanObserver
+
+// HistogramSnapshot is a point-in-time copy of one latency histogram,
+// with interpolated quantiles via Quantile.
+type HistogramSnapshot = obs.HistogramSnapshot
+
+// NewSpanObserver returns a SpanObserver forwarding to next (nil:
+// aggregate only). Use it as the tracer's sink to get per-phase
+// latency distributions from an instrumented flow.
+func NewSpanObserver(next TraceSink) *SpanObserver { return obs.NewSpanObserver(next) }
+
 // Scheme selects a routing-rule assignment policy.
 type Scheme int
 

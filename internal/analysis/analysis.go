@@ -1,7 +1,8 @@
-// Package analysis is the repo's static-analysis suite: five custom
-// passes that turn the determinism, tracing, and units contracts the
-// engine packages rely on — bit-identical parallel results, leak-free
-// span trees, no wall-clock reads on resumable paths — into build-time
+// Package analysis is the repo's static-analysis suite: six custom
+// passes that turn the determinism, tracing, telemetry, and units
+// contracts the engine packages rely on — bit-identical parallel
+// results, leak-free span trees, no wall-clock reads on resumable
+// paths, a statically enumerable metric namespace — into build-time
 // errors instead of code-review folklore.
 //
 // The framework deliberately mirrors the golang.org/x/tools/go/analysis
@@ -127,7 +128,7 @@ func buildDirectives(fset *token.FileSet, files []*ast.File) directiveIndex {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Maporder, Seededrand, Wallclock, Spanhygiene, Floatorder}
+	return []*Analyzer{Maporder, Seededrand, Wallclock, Spanhygiene, Floatorder, Metricname}
 }
 
 // ByName resolves a comma-separated analyzer subset ("" means all).

@@ -21,6 +21,7 @@ func TestGolden(t *testing.T) {
 		{analysis.Wallclock, []string{"wallclock/sta", "wallclock/obs", "wallclock/cli"}},
 		{analysis.Spanhygiene, []string{"spanhygiene/a"}},
 		{analysis.Floatorder, []string{"floatorder/a"}},
+		{analysis.Metricname, []string{"metricname/engine", "metricname/clean"}},
 	}
 	for _, c := range cases {
 		c := c
@@ -62,7 +63,7 @@ func TestAllHaveDocs(t *testing.T) {
 			t.Errorf("analyzer name %q must be a single flag-friendly token", a.Name)
 		}
 	}
-	if len(seen) != 5 {
-		t.Errorf("expected the five ISSUE analyzers, got %d", len(seen))
+	if len(seen) != 6 {
+		t.Errorf("expected the six suite analyzers, got %d", len(seen))
 	}
 }

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+)
+
+// Metricname enforces the metric-naming contract at every call that
+// mints a metric: obs.Tracer.Add/Gauge/Observe and
+// obs.Registry.Add/Set/Histogram must be given a constant string
+// matching the pkg.snake_case convention ("serve.cache_hits",
+// "sta.node_visits"). Constant names keep the metric namespace
+// statically enumerable — grep finds every series that can ever exist,
+// dashboards never chase runtime-invented names, and the Prometheus
+// exposition stays a closed set. Dynamic dimensions belong in labels
+// (the span-path histograms), not in names. The obs package itself is
+// exempt: it forwards caller-supplied names rather than minting them.
+var Metricname = &Analyzer{
+	Name: "metricname",
+	Doc:  "requires constant pkg.snake_case names at obs metric call sites",
+	Run:  runMetricname,
+}
+
+// metricNameRe is the naming convention: a package prefix, then one or
+// more dot-separated snake_case segments.
+var metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-z][a-z0-9_]*)+$`)
+
+// metricNameMethods maps obs receiver type → the methods whose first
+// argument is a metric name.
+var metricNameMethods = map[string]map[string]bool{
+	"Tracer":   {"Add": true, "Gauge": true, "Observe": true},
+	"Registry": {"Add": true, "Set": true, "Histogram": true},
+}
+
+func runMetricname(pass *Pass) error {
+	if pathBase(pass.Pkg.Path()) == "obs" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			pkgPath, typeName, method := methodOn(pass.Info, call)
+			if pathBase(pkgPath) != "obs" || !metricNameMethods[typeName][method] {
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name for %s.%s must be a constant string so the namespace stays statically enumerable; put dynamic dimensions in labels, not names",
+					typeName, method)
+				return true
+			}
+			if name := constant.StringVal(tv.Value); !metricNameRe.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name %q does not match the pkg.snake_case convention (want e.g. \"serve.cache_hits\")",
+					name)
+			}
+			return true
+		})
+	}
+	return nil
+}

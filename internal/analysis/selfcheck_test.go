@@ -9,7 +9,7 @@ import (
 	"smartndr/internal/analysis"
 )
 
-// TestRepoIsLintClean runs all five analyzers over the whole module and
+// TestRepoIsLintClean runs all six analyzers over the whole module and
 // asserts zero diagnostics — the repo must stay clean so that `make
 // lint` (and CI) only ever fails on a genuine regression.
 func TestRepoIsLintClean(t *testing.T) {

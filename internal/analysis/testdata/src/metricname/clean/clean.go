@@ -1,0 +1,23 @@
+// Package clean is the metricname negative golden package: convention
+// names pass untouched and an annotated exception is honored.
+package clean
+
+import "smartndr/internal/obs"
+
+// Record uses only constant, convention-form names.
+func Record(tr *obs.Tracer, reg *obs.Registry) {
+	tr.Add("clean.requests", 1)
+	tr.Gauge("clean.queue_depth", 4)
+	tr.Observe("clean.wait_seconds", 0.25)
+	reg.Add("clean.errors", 1)
+	reg.Set("clean.inflight", 2)
+	reg.Histogram("clean.run_seconds").Observe(1.5)
+}
+
+// Bridge mirrors counters from a legacy system whose names predate the
+// convention; the exception is deliberate and justified in place.
+func Bridge(reg *obs.Registry, legacy map[string]float64) {
+	for name, v := range legacy {
+		reg.Add(name, v) //lint:allow metricname legacy bridge forwards externally-owned names
+	}
+}

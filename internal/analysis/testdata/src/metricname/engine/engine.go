@@ -1,0 +1,44 @@
+// Package engine is the metricname golden package: metric names at
+// obs call sites must be constant strings in pkg.snake_case form.
+package engine
+
+import (
+	"fmt"
+
+	"smartndr/internal/obs"
+)
+
+// Flagged: the name is assembled at runtime, so the metric namespace
+// cannot be enumerated statically.
+func DynamicName(tr *obs.Tracer, scheme string) {
+	tr.Add("engine."+scheme, 1)                      // want "metric name for Tracer.Add must be a constant string"
+	tr.Gauge(fmt.Sprintf("engine.%s_ps", scheme), 2) // want "metric name for Tracer.Gauge must be a constant string"
+}
+
+// Flagged: a variable name is just as unenumerable as a computed one.
+func VariableName(reg *obs.Registry, name string) {
+	reg.Add(name, 1) // want "metric name for Registry.Add must be a constant string"
+}
+
+// Flagged: constant, but not pkg.snake_case.
+func BadFormat(tr *obs.Tracer, reg *obs.Registry) {
+	tr.Add("nodot", 1)                  // want `metric name "nodot" does not match the pkg.snake_case convention`
+	tr.Gauge("engine.CamelCase", 1)     // want `metric name "engine.CamelCase" does not match the pkg.snake_case convention`
+	tr.Observe("Engine.seconds", 1)     // want `metric name "Engine.seconds" does not match the pkg.snake_case convention`
+	reg.Set("engine.trailing.", 1)      // want `metric name "engine.trailing." does not match the pkg.snake_case convention`
+	h := reg.Histogram("engine-dash.x") // want `metric name "engine-dash.x" does not match the pkg.snake_case convention`
+	h.Observe(0.5)
+}
+
+// Clean: literal and spelled-constant names in convention; the
+// histogram handle records values, not names, so Observe on it is
+// never checked.
+const prefix = "engine."
+
+func Clean(tr *obs.Tracer, reg *obs.Registry) {
+	tr.Add("engine.visits", 1)
+	tr.Gauge("engine.skew_ps", 3.5)
+	tr.Observe(prefix+"phase_seconds", 0.01)
+	reg.Set("engine.cap_saved_frac", 0.2)
+	reg.Histogram("engine.latency_seconds").Observe(0.002)
+}

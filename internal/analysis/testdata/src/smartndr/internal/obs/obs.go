@@ -24,6 +24,33 @@ func New(sink any) *Tracer { return nil }
 // Start opens an ambient-stack span.
 func (t *Tracer) Start(name string, attrs ...Attr) *Span { return nil }
 
+// Add bumps a named counter.
+func (t *Tracer) Add(name string, delta float64) {}
+
+// Gauge sets a named gauge.
+func (t *Tracer) Gauge(name string, v float64) {}
+
+// Observe records into a named histogram.
+func (t *Tracer) Observe(name string, v float64) {}
+
+// Registry mirrors obs.Registry.
+type Registry struct{}
+
+// Add bumps a named counter.
+func (r *Registry) Add(name string, delta float64) {}
+
+// Set sets a named gauge.
+func (r *Registry) Set(name string, v float64) {}
+
+// Histogram returns the named histogram.
+func (r *Registry) Histogram(name string) *Histogram { return nil }
+
+// Histogram mirrors obs.Histogram.
+type Histogram struct{}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {}
+
 // Span mirrors obs.Span.
 type Span struct{}
 

@@ -75,6 +75,34 @@ func New(sink Sink) *Tracer {
 	return &Tracer{sink: sink, start: time.Now(), reg: &Registry{}}
 }
 
+// ScopedTee returns a request-scoped view of t (see Scoped) whose
+// events are additionally delivered to extra — typically a per-request
+// Collector, so a server can capture one request's span tree for
+// post-hoc inspection while the shared sink still sees every event.
+// extra is never closed by the tracer (Close on a scoped tracer is a
+// no-op); the caller reads it after the request finishes. Nil-safe on
+// both sides: a nil tracer yields nil, a nil extra degrades to Scoped.
+func (t *Tracer) ScopedTee(extra Sink) *Tracer {
+	if t == nil {
+		return nil
+	}
+	if extra == nil {
+		return t.Scoped()
+	}
+	return &Tracer{sink: teeSink{t.sink, extra}, start: t.start, reg: t.reg, scoped: true}
+}
+
+// teeSink fans one scoped tracer's events to the shared sink and the
+// per-request extra. Close is never called (scoped Close is a no-op).
+type teeSink struct{ shared, extra Sink }
+
+func (s teeSink) Emit(ev SpanEvent) {
+	s.shared.Emit(ev)
+	s.extra.Emit(ev)
+}
+
+func (s teeSink) Close() error { return s.shared.Close() }
+
 // Scoped returns a request-scoped view of t: a tracer with its own
 // ambient span stack that shares t's sink, registry, and time origin.
 // This is the form a concurrent server hands to each request — the
@@ -129,6 +157,16 @@ func (t *Tracer) Gauge(name string, v float64) {
 		return
 	}
 	t.reg.Set(name, v)
+}
+
+// Observe records one value into the named histogram in the tracer's
+// registry (creating it with DefaultLatencyBounds). For latencies the
+// unit is seconds.
+func (t *Tracer) Observe(name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.reg.Histogram(name).Observe(v)
 }
 
 // Registry returns the tracer's metric registry (nil for a nil tracer;
@@ -274,38 +312,138 @@ func attrMap(attrs []Attr) map[string]any {
 	return m
 }
 
-// Registry holds named counters and gauges. The zero value is ready to
-// use; a nil *Registry ignores every call.
+// Registry holds named counters, gauges, and histograms. The zero
+// value is ready to use; a nil *Registry ignores every call.
+//
+// Every name belongs to exactly one kind: the first registration
+// claims it, and a later call of a different kind on the same name is
+// dropped and recorded (Collisions). That makes Snapshot's merged
+// counter/gauge map collision-free by construction — previously a
+// counter and a gauge sharing a name silently merged with the gauge
+// winning. The metricname analyzer keeps the namespace statically
+// enumerable, so a collision is always a findable bug, never a silent
+// misreading.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]float64
 	gauges   map[string]float64
+	hists    map[string]*Histogram
+	kinds    map[string]metricKind
+	collided map[string]bool
 }
 
-// Add increments counter name by delta (creating it at zero).
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// claimLocked records name as kind, or detects the cross-kind
+// collision and reports false (the caller drops the operation).
+func (r *Registry) claimLocked(name string, kind metricKind) bool {
+	if r.kinds == nil {
+		r.kinds = make(map[string]metricKind)
+	}
+	if have, ok := r.kinds[name]; ok {
+		if have == kind {
+			return true
+		}
+		if r.collided == nil {
+			r.collided = make(map[string]bool)
+		}
+		r.collided[name] = true
+		return false
+	}
+	r.kinds[name] = kind
+	return true
+}
+
+// Add increments counter name by delta (creating it at zero). If name
+// is already a gauge or histogram, the call is dropped and the
+// collision recorded.
 func (r *Registry) Add(name string, delta float64) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	if r.counters == nil {
-		r.counters = make(map[string]float64)
+	if r.claimLocked(name, kindCounter) {
+		if r.counters == nil {
+			r.counters = make(map[string]float64)
+		}
+		r.counters[name] += delta
 	}
-	r.counters[name] += delta
 	r.mu.Unlock()
 }
 
-// Set sets gauge name to v.
+// Set sets gauge name to v. If name is already a counter or histogram,
+// the call is dropped and the collision recorded.
 func (r *Registry) Set(name string, v float64) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	if r.gauges == nil {
-		r.gauges = make(map[string]float64)
+	if r.claimLocked(name, kindGauge) {
+		if r.gauges == nil {
+			r.gauges = make(map[string]float64)
+		}
+		r.gauges[name] = v
 	}
-	r.gauges[name] = v
 	r.mu.Unlock()
+}
+
+// Histogram returns the named histogram, creating it with
+// DefaultLatencyBounds on first use. Returns nil (whose methods all
+// no-op) on a nil registry or when name is already a counter or gauge
+// — the collision is recorded and the caller's Observe calls vanish
+// rather than corrupting another metric.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.claimLocked(name, kindHistogram) {
+		return nil
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram(nil)
+		if r.hists == nil {
+			r.hists = make(map[string]*Histogram)
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Collisions returns the sorted names that were registered under more
+// than one metric kind — each is a bug to fix, not a state to tolerate.
+func (r *Registry) Collisions() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.collided))
+	for name := range r.collided {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Counter returns the current value of a counter.
@@ -318,7 +456,56 @@ func (r *Registry) Counter(name string) float64 {
 	return r.counters[name]
 }
 
+// Counters returns a copy of the counter map.
+func (r *Registry) Counters() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counters))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Gauges returns a copy of the gauge map.
+func (r *Registry) Gauges() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.gauges))
+	for k, v := range r.gauges {
+		out[k] = v
+	}
+	return out
+}
+
+// Histograms returns a point-in-time snapshot of every histogram.
+func (r *Registry) Histograms() map[string]HistogramSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	r.mu.Unlock()
+	out := make(map[string]HistogramSnapshot, len(hists))
+	for k, h := range hists {
+		out[k] = h.Snapshot()
+	}
+	return out
+}
+
 // Snapshot returns all counters and gauges merged into one map.
+// Histograms are excluded (they are not single numbers; see
+// Histograms). The merge is collision-free: a name belongs to exactly
+// one kind.
 func (r *Registry) Snapshot() map[string]float64 {
 	if r == nil {
 		return nil

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSinksConcurrentEmit drives every built-in sink from concurrent
+// request-scoped tracers — the service's real shape — and is meant to
+// run under -race: each sink must serialize Emit internally. The
+// JSONL/Tree buffers are only touched through the sink's own lock, so
+// the output must also be structurally intact (whole lines, valid
+// JSON) despite the interleaving.
+func TestSinksConcurrentEmit(t *testing.T) {
+	var jsonlBuf, treeBuf bytes.Buffer
+	jl := NewJSONL(&jsonlBuf)
+	tree := NewTree(&treeBuf)
+	col := NewCollector()
+	spanObs := NewSpanObserver(nil)
+	tr := New(Multi(jl, tree, col, spanObs))
+
+	const goroutines, reqs = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rtr := tr.Scoped()
+			for i := 0; i < reqs; i++ {
+				sp := rtr.Start("serve.flow", I("g", g), I("i", i))
+				child := rtr.Start("flow.apply")
+				child.End()
+				sp.End()
+				rtr.Add("serve.requests", 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	wantSpans := goroutines * reqs * 2
+	if got := len(col.Events()); got != wantSpans+1 { // +1 synthetic metrics
+		t.Errorf("collector events = %d, want %d", got, wantSpans+1)
+	}
+	lines := 0
+	sc := bufio.NewScanner(bytes.NewReader(jsonlBuf.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+		var ev SpanEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("JSONL line %d is not valid JSON: %v: %q", lines, err, sc.Text())
+		}
+	}
+	if lines != wantSpans+1 {
+		t.Errorf("JSONL lines = %d, want %d", lines, wantSpans+1)
+	}
+	if treeBuf.Len() == 0 {
+		t.Error("tree sink rendered nothing on Close")
+	}
+	if got := spanObs.Histogram("serve.flow").Snapshot().Count; got != goroutines*reqs {
+		t.Errorf("span observer serve.flow count = %d, want %d", got, goroutines*reqs)
+	}
+	if got := tr.Registry().Counter("serve.requests"); got != float64(goroutines*reqs) {
+		t.Errorf("counter = %g, want %d", got, goroutines*reqs)
+	}
+}
+
+// TestScopedTracersConcurrentTee checks the per-request tee under
+// contention: every request's private collector sees exactly its own
+// two spans while the shared sink sees all of them.
+func TestScopedTracersConcurrentTee(t *testing.T) {
+	shared := NewCollector()
+	tr := New(shared)
+	const goroutines, reqs = 8, 25
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < reqs; i++ {
+				per := NewCollector()
+				rtr := tr.ScopedTee(per)
+				sp := rtr.Start("serve.flow", I("g", g))
+				rtr.Start("flow.apply").End()
+				sp.End()
+				if got := len(per.Events()); got != 2 {
+					errs <- fmt.Errorf("goroutine %d: per-request events = %d, want 2", g, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := len(shared.Events()); got != goroutines*reqs*2 {
+		t.Errorf("shared events = %d, want %d", got, goroutines*reqs*2)
+	}
+}

@@ -76,9 +76,33 @@ type Config struct {
 	// service counters. Each request gets a scoped view, so concurrent
 	// requests never interleave their span nesting.
 	Tracer *obs.Tracer
+	// SpanObs, when non-nil, contributes its per-span-path latency
+	// histograms to /metricsz. Wire the same observer into the Tracer's
+	// sink chain (obs.NewSpanObserver) so every engine phase the tracer
+	// sees lands in a distribution.
+	SpanObs *obs.SpanObserver
+	// TracezCapacity bounds the /v1/tracez buffer of recent request
+	// span trees: half holds the slowest requests seen, half a ring of
+	// the most recent. 0 disables the endpoint.
+	TracezCapacity int
 	// Now overrides the clock (tests). Nil uses the real clock.
 	Now func() time.Time
 }
+
+// Request-latency outcome classes, one histogram per endpoint × class
+// (see the serve.<endpoint>_<class>_seconds registry names).
+const (
+	latCold    = "cold"    // executed the engine (cache miss, 200)
+	latHit     = "hit"     // served from cache or a shared flight (200)
+	latRefused = "refused" // shed: saturated (429) or draining/canceled (503)
+	latError   = "error"   // everything else (4xx/5xx, timeouts)
+)
+
+// Endpoint names for the run endpoints (span names are serve.<name>).
+const (
+	epFlow  = "flow"
+	epSweep = "sweep"
+)
 
 // Server is the flow service. Create with New, expose via Handler, and
 // stop with Drain.
@@ -89,6 +113,9 @@ type Server struct {
 	mux        *http.ServeMux
 	tr         *obs.Tracer
 	reg        *obs.Registry
+	spanObs    *obs.SpanObserver
+	tracez     *TraceBuffer
+	lat        map[string]map[string]*obs.Histogram // endpoint → class → histogram
 	timeout    time.Duration
 	retryAfter time.Duration
 	now        func() time.Time
@@ -141,11 +168,35 @@ func New(cfg Config) *Server {
 	}
 	s.start = s.now()
 	s.cache = NewCache(cfg.CacheEntries, s.reg)
+	s.spanObs = cfg.SpanObs
+	if cfg.TracezCapacity > 0 {
+		s.tracez = NewTraceBuffer(cfg.TracezCapacity)
+	}
+	// One latency histogram per endpoint × outcome class, registered up
+	// front under constant names so the metric namespace is statically
+	// enumerable (the metricname analyzer enforces the convention) and
+	// all series exist from the first scrape.
+	s.lat = map[string]map[string]*obs.Histogram{
+		epFlow: {
+			latCold:    reg.Histogram("serve.flow_cold_seconds"),
+			latHit:     reg.Histogram("serve.flow_hit_seconds"),
+			latRefused: reg.Histogram("serve.flow_refused_seconds"),
+			latError:   reg.Histogram("serve.flow_error_seconds"),
+		},
+		epSweep: {
+			latCold:    reg.Histogram("serve.sweep_cold_seconds"),
+			latHit:     reg.Histogram("serve.sweep_hit_seconds"),
+			latRefused: reg.Histogram("serve.sweep_refused_seconds"),
+			latError:   reg.Histogram("serve.sweep_error_seconds"),
+		},
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/flow", s.handleFlow)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/statsz", s.handleStatsz)
+	s.mux.HandleFunc("/v1/tracez", s.handleTracez)
+	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
 	return s
 }
 
@@ -210,7 +261,7 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // handleFlow serves POST /v1/flow.
 func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
-	s.handleRun(w, r, "serve.flow", func(body []byte) (string, loader, time.Duration, error) {
+	s.handleRun(w, r, epFlow, func(body []byte) (string, loader, time.Duration, error) {
 		req, err := DecodeFlowRequest(body)
 		if err != nil {
 			return "", nil, 0, err
@@ -227,7 +278,7 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 
 // handleSweep serves POST /v1/sweep.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	s.handleRun(w, r, "serve.sweep", func(body []byte) (string, loader, time.Duration, error) {
+	s.handleRun(w, r, epSweep, func(body []byte) (string, loader, time.Duration, error) {
 		req, err := DecodeSweepRequest(body)
 		if err != nil {
 			return "", nil, 0, err
@@ -260,33 +311,75 @@ func (s *Server) resolveTimeout(ms int) time.Duration {
 
 // handleRun is the shared request path: decode → key → cache/flight →
 // admission → run → respond. Every outcome lands on one request span
-// tagged with the canonical key, cache outcome, and HTTP status.
+// tagged with the canonical key, cache outcome, and HTTP status; on
+// the way out the request is recorded into the per-endpoint/per-class
+// latency histogram and (when enabled) the tracez buffer.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request,
-	spanName string, prepare func(body []byte) (string, loader, time.Duration, error)) {
+	endpoint string, prepare func(body []byte) (string, loader, time.Duration, error)) {
+
+	t0 := s.now()
+	var (
+		reqID   int64
+		status  int
+		key     string
+		outcome string // cache outcome: hit|miss|shared (empty pre-cache)
+		col     *obs.Collector
+	)
+	// Registered first so it runs last — after the request span has
+	// ended and its event has landed in col.
+	defer func() {
+		d := s.now().Sub(t0)
+		class := latencyClass(status, outcome)
+		if h := s.lat[endpoint][class]; h != nil {
+			h.Observe(d.Seconds())
+		}
+		if s.tracez != nil {
+			var evs []obs.SpanEvent
+			if col != nil {
+				evs = col.Events()
+			}
+			s.tracez.Add(TraceRecord{
+				Req: reqID, Endpoint: endpoint, Key: key, Outcome: class,
+				Cache: outcome, Status: status, DurNS: d.Nanoseconds(),
+				Spans: buildSpanTree(evs),
+			})
+		}
+	}()
 
 	if r.Method != http.MethodPost {
-		s.writeError(w, nil, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s needs POST", r.URL.Path))
+		status = http.StatusMethodNotAllowed
+		s.writeError(w, nil, status, fmt.Errorf("serve: %s needs POST", r.URL.Path))
 		return
 	}
 	if !s.admit() {
-		s.refuse(w, nil, http.StatusServiceUnavailable, "draining")
+		status = http.StatusServiceUnavailable
+		s.refuse(w, nil, status, "draining")
 		return
 	}
 	defer s.depart()
 	s.reg.Add("serve.requests", 1)
 
+	reqID = s.reqID.Add(1)
 	rtr := s.tr.Scoped()
-	sp := rtr.Start(spanName, obs.I("req", int(s.reqID.Add(1))))
+	if s.tracez != nil && s.tr.Enabled() {
+		col = obs.NewCollector()
+		rtr = s.tr.ScopedTee(col)
+	}
+	sp := rtr.Start("serve."+endpoint, obs.I("req", int(reqID)))
 	defer sp.End()
 
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		s.writeError(w, sp, http.StatusBadRequest, fmt.Errorf("serve: reading body: %w", err))
+		status = http.StatusBadRequest
+		s.writeError(w, sp, status, fmt.Errorf("serve: reading body: %w", err))
 		return
 	}
-	key, run, timeout, err := prepare(body)
+	var run loader
+	var timeout time.Duration
+	key, run, timeout, err = prepare(body)
 	if err != nil {
-		s.writeError(w, sp, http.StatusBadRequest, err)
+		status = http.StatusBadRequest
+		s.writeError(w, sp, status, err)
 		return
 	}
 	sp.Set("key", key)
@@ -294,7 +387,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request,
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	bytesOut, outcome, err := s.cache.Do(ctx, key, func() ([]byte, error) {
+	var bytesOut []byte
+	bytesOut, outcome, err = s.cache.Do(ctx, key, func() ([]byte, error) {
 		// Cache miss: this call owns the execution. Admission happens
 		// here so hits and followers never consume a slot.
 		release, err := s.gate.Acquire(ctx)
@@ -312,24 +406,44 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request,
 	if err != nil {
 		switch {
 		case errors.Is(err, par.ErrSaturated):
+			status = http.StatusTooManyRequests
 			s.reg.Add("serve.saturated", 1)
-			s.refuse(w, sp, http.StatusTooManyRequests, "saturated")
+			s.refuse(w, sp, status, "saturated")
 		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
 			s.reg.Add("serve.timeouts", 1)
-			s.writeError(w, sp, http.StatusGatewayTimeout, err)
+			s.writeError(w, sp, status, err)
 		case errors.Is(err, context.Canceled):
-			s.writeError(w, sp, http.StatusServiceUnavailable, err)
+			status = http.StatusServiceUnavailable
+			s.writeError(w, sp, status, err)
 		default:
-			s.writeError(w, sp, http.StatusInternalServerError, err)
+			status = http.StatusInternalServerError
+			s.writeError(w, sp, status, err)
 		}
 		return
 	}
+	status = http.StatusOK
 	sp.Set("status", http.StatusOK)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", outcome)
 	w.Header().Set("X-Key", key)
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(bytesOut)
+}
+
+// latencyClass maps a finished request onto its histogram class.
+func latencyClass(status int, cacheOutcome string) string {
+	switch {
+	case status == http.StatusOK &&
+		(cacheOutcome == CacheHit || cacheOutcome == CacheShared):
+		return latHit
+	case status == http.StatusOK:
+		return latCold
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		return latRefused
+	default:
+		return latError
+	}
 }
 
 // handleHealthz serves GET /v1/healthz: 200 while serving, 503 while
@@ -351,14 +465,50 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // Statsz is the /v1/statsz body: a point-in-time operational snapshot.
 type Statsz struct {
-	UptimeMS int64              `json:"uptime_ms"`
-	Draining bool               `json:"draining"`
-	InFlight int                `json:"in_flight"`
-	Waiting  int                `json:"waiting"`
-	Slots    int                `json:"slots"`
-	CacheLen int                `json:"cache_len"`
-	CacheCap int                `json:"cache_cap"`
-	Counters map[string]float64 `json:"counters,omitempty"`
+	UptimeMS int64                     `json:"uptime_ms"`
+	Draining bool                      `json:"draining"`
+	InFlight int                       `json:"in_flight"`
+	Waiting  int                       `json:"waiting"`
+	Slots    int                       `json:"slots"`
+	CacheLen int                       `json:"cache_len"`
+	CacheCap int                       `json:"cache_cap"`
+	Counters map[string]float64        `json:"counters,omitempty"`
+	Latency  map[string]LatencySummary `json:"latency,omitempty"`
+}
+
+// LatencySummary is the statsz view of one request-latency histogram:
+// count plus interpolated percentiles, in milliseconds. The same
+// histograms back the /metricsz exposition, so the two endpoints can
+// never disagree.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// latencySummaries derives the non-empty "endpoint.class" summaries
+// from the request histograms.
+func (s *Server) latencySummaries() map[string]LatencySummary {
+	out := map[string]LatencySummary{}
+	for endpoint, classes := range s.lat { //lint:commutative summaries land under distinct keys
+		for class, h := range classes { //lint:commutative summaries land under distinct keys
+			snap := h.Snapshot()
+			if snap.Count == 0 {
+				continue
+			}
+			out[endpoint+"."+class] = LatencySummary{
+				Count: snap.Count,
+				P50MS: snap.Quantile(0.50) * 1e3,
+				P95MS: snap.Quantile(0.95) * 1e3,
+				P99MS: snap.Quantile(0.99) * 1e3,
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // handleStatsz serves GET /v1/statsz.
@@ -376,6 +526,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		CacheLen: s.cache.Len(),
 		CacheCap: s.cache.Cap(),
 		Counters: s.reg.Snapshot(),
+		Latency:  s.latencySummaries(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(st)
