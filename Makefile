@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build check vet fmt lint lint-extra test race bench bench-smoke bench-json cover fuzz-smoke ci clean
+.PHONY: all build check vet fmt lint lint-extra test race bench bench-smoke bench-scale bench-json cover fuzz-smoke ci clean
 
 # Coverage floor (percent) enforced on internal/serve — the service
 # layer is pure coordination logic, so uncovered lines are usually
@@ -56,17 +56,27 @@ bench:
 
 # One iteration of every benchmark in the repo — catches benchmarks that
 # no longer compile or crash, without paying for a measurement. CI runs
-# this step.
+# this step. -short keeps the scale benchmarks out; bench-scale owns
+# those.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+	$(GO) test -run '^$$' -bench . -benchtime=1x -short ./...
 
-# Machine-readable perf snapshot of the Monte Carlo worker-scaling, flow,
-# and incremental-STA benchmarks (see docs/performance.md). BENCH_PR3.json
-# is committed so perf regressions diff in review.
+# One iteration of the 100K-sink hierarchical-flow benchmark — the scale
+# path's CI canary (generation, partition, per-region smart builds,
+# stitch, global balance; ~4 s on one core). The million-sink variant is
+# opt-in: SMARTNDR_BENCH_1M=1 make bench-scale.
+bench-scale:
+	$(GO) test -run '^$$' -bench 'FlowSmart100K|FlowSmart1M' -benchtime=1x -benchmem .
+
+# Machine-readable perf snapshot of the Monte Carlo worker-scaling, flow
+# (including the 100K-sink hierarchical point), and incremental-STA
+# benchmarks (see docs/performance.md). BENCH_PR7.json is committed so
+# perf regressions diff in review; earlier snapshots (BENCH_PR2/PR3)
+# stay as history.
 bench-json:
 	$(GO) test -bench='MonteCarlo|Flow|Optimize|RepairSkew' -benchmem -run=^$$ . ./internal/core \
-		| $(GO) run ./internal/tools/bench2json -out BENCH_PR3.json
-	@echo wrote BENCH_PR3.json
+		| $(GO) run ./internal/tools/bench2json -out BENCH_PR7.json
+	@echo wrote BENCH_PR7.json
 
 # Per-package coverage summary plus an enforced floor on internal/serve.
 # Writes cover.out (uploaded as a CI artifact) and prints the func-level
@@ -89,12 +99,13 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFlowRequest$$' -fuzztime $(FUZZTIME) ./internal/serve/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSweepRequest$$' -fuzztime $(FUZZTIME) ./internal/serve/
 	$(GO) test -run '^$$' -fuzz '^FuzzSpecCanonical$$' -fuzztime $(FUZZTIME) ./internal/workload/
+	$(GO) test -run '^$$' -fuzz '^FuzzDEFLiteChunked$$' -fuzztime $(FUZZTIME) ./internal/sio/
 
 # What CI runs (.github/workflows/ci.yml): everything check does plus a
-# plain build, the full test suite, the benchmark smoke pass, the fuzz
-# smoke pass, and the coverage floor. CI also runs lint-extra, which
-# needs network access for the pinned tools.
-ci: build vet fmt lint test race bench-smoke fuzz-smoke cover
+# plain build, the full test suite, the benchmark smoke pass, the scale
+# canary, the fuzz smoke pass, and the coverage floor. CI also runs
+# lint-extra, which needs network access for the pinned tools.
+ci: build vet fmt lint test race bench-smoke bench-scale fuzz-smoke cover
 
 clean:
 	$(GO) clean ./...

@@ -6,7 +6,10 @@ package smartndr
 // minutes-scale; run the command for the full-size tables.
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"testing"
 
@@ -170,3 +173,41 @@ func BenchmarkMonteCarlo1Workers(b *testing.B) { benchMonteCarlo(b, 1) }
 func BenchmarkMonteCarlo4Workers(b *testing.B) { benchMonteCarlo(b, 4) }
 func BenchmarkMonteCarlo8Workers(b *testing.B) { benchMonteCarlo(b, 8) }
 func BenchmarkMonteCarloNWorkers(b *testing.B) { benchMonteCarlo(b, runtime.GOMAXPROCS(0)) }
+
+// Scale benchmarks drive the hierarchical flow end to end — sharded
+// benchmark generation, geometric partitioning, per-region DME +
+// smart-NDR builds on the worker pool, top-tree embed, stitch, and the
+// final global skew balance. Both skip under -short so bench-smoke
+// stays seconds-scale; `make bench-scale` (CI) runs the 100K point
+// once, and BENCH_PR7.json commits it. The million-sink probe
+// additionally gates behind SMARTNDR_BENCH_1M=1 — it is the headroom
+// proof, not a routine datapoint.
+
+func benchFlowSmartScale(b *testing.B, n int) {
+	b.Helper()
+	if testing.Short() {
+		b.Skipf("%d-sink scale benchmark skipped in -short mode", n)
+	}
+	spec := workload.Scale(fmt.Sprintf("scale%dk", n/1000), n, 7)
+	flow := NewFlow(&FlowConfig{Hier: HierConfig{MaxRegionSinks: 2048}})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		built, _, err := flow.RunSpec(context.Background(), spec, SchemeSmart)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if built.NumClusters < 2 {
+			b.Fatalf("scale run built %d regions — hierarchical path not taken", built.NumClusters)
+		}
+	}
+}
+
+func BenchmarkFlowSmart100K(b *testing.B) { benchFlowSmartScale(b, 100_000) }
+
+func BenchmarkFlowSmart1M(b *testing.B) {
+	if os.Getenv("SMARTNDR_BENCH_1M") == "" {
+		b.Skip("set SMARTNDR_BENCH_1M=1 to run the million-sink benchmark")
+	}
+	benchFlowSmartScale(b, 1_000_000)
+}

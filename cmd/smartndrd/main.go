@@ -65,6 +65,7 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429/503 refusals")
 	cacheEntries := fs.Int("cache-entries", 256, "result-cache capacity (entries)")
 	workers := fs.Int("workers", 0, "sweep-arm fan-out bound (0 = all cores; results identical at any count)")
+	maxSpecBytes := fs.Int64("max-spec-bytes", 0, "request-body size cap; oversize requests get 413 (0 = 1 MiB default)")
 	traceFile := fs.String("trace", "", "write span events as JSON lines to this file")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 	metrics := fs.Bool("metrics", true, "aggregate span latencies into /metricsz histograms")
@@ -121,6 +122,7 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 		RetryAfter:     *retryAfter,
 		CacheEntries:   *cacheEntries,
 		Workers:        *workers,
+		MaxBodyBytes:   *maxSpecBytes,
 		Tracer:         tracer,
 		SpanObs:        spanObs,
 		TracezCapacity: *tracezCap,

@@ -14,6 +14,7 @@ import (
 	"smartndr/internal/ctree"
 	"smartndr/internal/cts"
 	"smartndr/internal/geom"
+	"smartndr/internal/hier"
 	"smartndr/internal/obs"
 	"smartndr/internal/sta"
 	"smartndr/internal/tech"
@@ -124,6 +125,21 @@ func (s Scheme) String() string {
 	}
 }
 
+// HierConfig opts a flow into partitioned hierarchical construction for
+// large sink sets. The zero value disables it: every RunSpec builds one
+// flat tree regardless of size.
+type HierConfig struct {
+	// MaxRegionSinks, when positive, enables the hierarchical pipeline
+	// for specs larger than the bound and caps the sink count of one
+	// region (see internal/hier). Specs at or under the bound still build
+	// flat, so small runs are unaffected by opting in.
+	MaxRegionSinks int `json:"max_region_sinks,omitempty"`
+	// SkewSplit is the fraction of the skew budget granted to
+	// intra-region skew (default 0.5); the rest absorbs inter-region
+	// stitching error.
+	SkewSplit float64 `json:"skew_split,omitempty"`
+}
+
 // FlowConfig parameterizes a Flow. The zero value (or nil pointer to
 // NewFlow) selects the 45 nm-class defaults.
 type FlowConfig struct {
@@ -142,12 +158,16 @@ type FlowConfig struct {
 	// Monte Carlo trials) and run counters. See internal/obs; construct
 	// with NewTracer and a sink. Nil disables instrumentation at no cost.
 	Tracer *Tracer
-	// Workers bounds parallel sections (currently Monte Carlo trials):
-	// 0 uses runtime.GOMAXPROCS(0), 1 forces serial execution. Results
-	// are bit-identical for every value — each Monte Carlo trial draws
-	// from an RNG substream derived from (Seed, trial index) alone. See
-	// docs/performance.md.
+	// Workers bounds parallel sections (Monte Carlo trials, hierarchical
+	// region builds, sharded benchmark generation): 0 uses
+	// runtime.GOMAXPROCS(0), 1 forces serial execution. Results are
+	// bit-identical for every value — each parallel unit draws from an
+	// RNG substream derived from (Seed, unit index) alone and lands in an
+	// index-addressed slot. See docs/performance.md.
 	Workers int
+	// Hier opts RunSpec into partitioned hierarchical construction for
+	// specs larger than Hier.MaxRegionSinks. Zero value: always flat.
+	Hier HierConfig
 }
 
 // DefaultLibraryFor returns the built-in buffer library matching the
@@ -205,6 +225,7 @@ func (f *Flow) Build(sinks []Sink, src Point) (*Built, error) {
 	}
 	sp := f.cfg.Tracer.Start("flow.build", obs.I("sinks", len(sinks)))
 	defer sp.End()
+	f.cfg.Tracer.Gauge("flow.sink_count", float64(len(sinks)))
 	opt := f.cfg.CTS
 	if opt.Tracer == nil {
 		opt.Tracer = f.cfg.Tracer
@@ -282,12 +303,15 @@ func (f *Flow) RunSpec(ctx context.Context, spec BenchSpec, scheme Scheme) (*Bui
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	bm, err := workload.Generate(spec)
+	bm, err := workload.GenerateP(spec, f.cfg.Workers)
 	if err != nil {
 		return nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
+	}
+	if h := f.cfg.Hier; h.MaxRegionSinks > 0 && len(bm.Sinks) > h.MaxRegionSinks {
+		return f.RunHier(ctx, bm.Sinks, bm.Src, scheme)
 	}
 	built, err := f.Build(bm.Sinks, bm.Src)
 	if err != nil {
@@ -303,10 +327,74 @@ func (f *Flow) RunSpec(ctx context.Context, spec BenchSpec, scheme Scheme) (*Bui
 	return built, res, nil
 }
 
+// RunHier builds the clock tree with the partitioned hierarchical
+// pipeline (see internal/hier): sinks are split into regions of at most
+// Hier.MaxRegionSinks, each region is synthesized (and, for SchemeSmart,
+// rule-optimized) independently on the flow's worker pool, and the
+// region trees are stitched under a delay-balancing top tree, then
+// globally skew-repaired. The result is bit-identical at any Workers
+// value. For SchemeSmart and SchemeBlanket the returned tree carries the
+// scheme natively; the remaining schemes are realized by re-assigning
+// rules on the stitched tree, exactly as Apply does on a flat build.
+//
+// Unlike the flat Build/Apply split, the hierarchical pipeline fuses
+// construction and optimization (region insertion delays must be
+// measured *after* optimization for the top tree to balance them), so
+// Built.Tree and Result.Tree are the same tree here.
+func (f *Flow) RunHier(ctx context.Context, sinks []Sink, src Point, scheme Scheme) (*Built, *Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	sp := f.cfg.Tracer.Start("flow.run_hier",
+		obs.I("sinks", len(sinks)), obs.S("scheme", scheme.String()))
+	defer sp.End()
+	f.cfg.Tracer.Gauge("flow.sink_count", float64(len(sinks)))
+	te, lib := f.cfg.Tech, f.cfg.Library
+	hcfg := hier.Config{
+		MaxRegionSinks: f.cfg.Hier.MaxRegionSinks,
+		SkewSplit:      f.cfg.Hier.SkewSplit,
+		Smart:          scheme == SchemeSmart,
+		Workers:        f.cfg.Workers,
+		InSlew:         f.cfg.InSlew,
+		CTS:            f.cfg.CTS,
+		Opt:            f.cfg.Opt,
+		Tracer:         f.cfg.Tracer,
+	}
+	hres, err := hier.Build(ctx, sinks, src, te, lib, hcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := hres.Tree
+	res := &Result{Scheme: scheme, Tree: t, Stats: hres.Opt}
+	switch scheme {
+	case SchemeSmart, SchemeBlanket:
+		// Carried natively by the hierarchical build.
+	case SchemeAllDefault:
+		core.AssignAll(t, te.DefaultRule)
+	case SchemeTopK:
+		core.AssignTopLevels(t, te, f.cfg.TopK)
+	case SchemeTrunk:
+		core.AssignTrunk(t, te)
+	default:
+		return nil, nil, fmt.Errorf("smartndr: unknown scheme %d", int(scheme))
+	}
+	m, _, err := core.EvaluateTr(t, te, lib, f.cfg.InSlew, f.cfg.Tracer)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Metrics = m
+	built := &Built{
+		Tree:        t,
+		NumClusters: hres.NumRegions,
+		Buffers:     t.BufferCount(),
+	}
+	return built, res, nil
+}
+
 // flowKeyVersion prefixes every canonical run serialization. Bump it
 // whenever the key format (or anything about result semantics) changes
 // so stale content-addressed cache entries can never alias new results.
-const flowKeyVersion = "smartndr/flow/v1"
+const flowKeyVersion = "smartndr/flow/v2"
 
 // runKey is the canonical serialization of everything that determines a
 // RunSpec result: the benchmark spec, the full technology and buffer
@@ -324,6 +412,7 @@ type runKey struct {
 	InSlew  float64     `json:"in_slew"`
 	CTS     cts.Options `json:"cts"`
 	Opt     core.Config `json:"opt"`
+	Hier    HierConfig  `json:"hier"`
 }
 
 // CanonicalRun returns the canonical byte serialization hashed by
@@ -340,6 +429,7 @@ func (f *Flow) CanonicalRun(spec BenchSpec, scheme Scheme) ([]byte, error) {
 		InSlew:  f.cfg.InSlew,
 		CTS:     f.cfg.CTS,
 		Opt:     f.cfg.Opt,
+		Hier:    f.cfg.Hier,
 	}
 	// Zero the non-semantic fields (a nil and a live tracer must
 	// serialize identically).

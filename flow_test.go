@@ -443,4 +443,57 @@ func TestFlowCanonicalKey(t *testing.T) {
 	if key(&smartndr.FlowConfig{InSlew: 50e-12}, spec, smartndr.SchemeSmart) == base {
 		t.Error("InSlew not in the key")
 	}
+	if key(&smartndr.FlowConfig{Hier: smartndr.HierConfig{MaxRegionSinks: 500}}, spec, smartndr.SchemeSmart) == base {
+		t.Error("hier config not in the key")
+	}
+}
+
+// TestFlowRunSpecHierDispatch pins the size gate: with Hier enabled,
+// specs over the region bound take the partitioned pipeline and specs
+// under it still build flat — and the hierarchical path produces a valid
+// scheme result with in-budget skew.
+func TestFlowRunSpecHierDispatch(t *testing.T) {
+	cfg := &smartndr.FlowConfig{Hier: smartndr.HierConfig{MaxRegionSinks: 400}}
+	flow := smartndr.NewFlow(cfg)
+
+	// Flat path clones the built tree per scheme; the hier path returns
+	// one fused tree. That distinction is the dispatch witness.
+	small := testutil.UniformSpec("hier-small", 120, 1500, 3)
+	builtS, resS, err := flow.RunSpec(context.Background(), small, smartndr.SchemeSmart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builtS.Tree == resS.Tree {
+		t.Fatal("small spec took the hierarchical path; want flat")
+	}
+
+	big := testutil.UniformSpec("hier-big", 1600, 4000, 9)
+	built, res, err := flow.RunSpec(context.Background(), big, smartndr.SchemeSmart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Tree != res.Tree {
+		t.Fatal("big spec must return one fused tree for Built and Result (hier path)")
+	}
+	if built.NumClusters < 2 {
+		t.Fatalf("big spec yielded %d regions; expected a partition", built.NumClusters)
+	}
+	if res.Stats == nil || res.Stats.Downgrades == 0 {
+		t.Error("hier smart run reported no optimization")
+	}
+	te := flow.Config().Tech
+	if res.Metrics.Skew > te.MaxSkew {
+		t.Errorf("hier skew %.2f ps over budget %.2f ps", res.Metrics.Skew*1e12, te.MaxSkew*1e12)
+	}
+	// The blanket scheme must run hierarchically too, without stats.
+	_, bres, err := flow.RunSpec(context.Background(), big, smartndr.SchemeBlanket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.Stats != nil {
+		t.Error("blanket hier run carries optimizer stats")
+	}
+	if res.Metrics.SwitchedCap >= bres.Metrics.SwitchedCap {
+		t.Error("smart hier run did not reduce switched capacitance vs blanket")
+	}
 }

@@ -209,10 +209,13 @@ func splitEdge(t *ctree.Tree, v, segs int) {
 }
 
 // StageCaps recomputes, for every buffered node, the capacitance of the
-// stage it drives (wire + sink pins + downstream buffer input caps). Used
-// by tests and reports.
-func StageCaps(t *ctree.Tree, lib *cell.Library, cPerUm float64) map[int]float64 {
-	out := make(map[int]float64)
+// stage it drives (wire + sink pins + downstream buffer input caps). caps
+// is indexed by node (meaningful only at buffered nodes, zero elsewhere);
+// drivers lists the buffered nodes in ascending node order, giving a
+// deterministic iteration over the stages. Used by buffer sizing, tests,
+// and reports.
+func StageCaps(t *ctree.Tree, lib *cell.Library, cPerUm float64) (caps []float64, drivers []int) {
+	caps = make([]float64, len(t.Nodes))
 	downCap := make([]float64, len(t.Nodes))
 	t.PostOrder(func(v int) {
 		n := &t.Nodes[v]
@@ -228,13 +231,18 @@ func StageCaps(t *ctree.Tree, lib *cell.Library, cPerUm float64) map[int]float64
 			sum += downCap[k] + cPerUm*t.Nodes[k].EdgeLen
 		}
 		if n.BufIdx != ctree.NoBuf {
-			out[v] = sum
+			caps[v] = sum
 			downCap[v] = lib.Buffers[n.BufIdx].InputCap
 			return
 		}
 		downCap[v] = sum
 	})
-	return out
+	for v := range t.Nodes {
+		if t.Nodes[v].BufIdx != ctree.NoBuf && !t.IsLeaf(v) {
+			drivers = append(drivers, v)
+		}
+	}
+	return caps, drivers
 }
 
 func indexOf(lib *cell.Library, b *cell.Buffer) int {

@@ -83,11 +83,12 @@ func TestInsertStageCapBounded(t *testing.T) {
 	if _, err := Insert(tr, lib, opt); err != nil {
 		t.Fatal(err)
 	}
-	caps := StageCaps(tr, lib, opt.CPerUm)
-	if len(caps) == 0 {
+	caps, drivers := StageCaps(tr, lib, opt.CPerUm)
+	if len(drivers) == 0 {
 		t.Fatal("no stages found")
 	}
-	for v, c := range caps {
+	for _, v := range drivers {
+		c := caps[v]
 		if c > 2*opt.MaxCapPerStage {
 			t.Errorf("stage at node %d carries %g F, over 2× the %g F budget", v, c, opt.MaxCapPerStage)
 		}

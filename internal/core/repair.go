@@ -95,6 +95,10 @@ func repairToTargets(tim *sta.Incremental, t *ctree.Tree, te *tech.Tech, lib *ce
 	var st RepairStats
 	lag := make([]float64, len(t.Nodes))
 	given := make([]float64, len(t.Nodes))
+	drv := make([]int, len(t.Nodes))
+	rdDrv := make([]float64, len(t.Nodes))
+	worstBelow := make([]float64, len(t.Nodes))
+	budgetSq := make([]float64, len(t.Nodes))
 	slewCeil := repairSlewCeil * te.MaxSlew
 	damping := repairDamping
 	// Divergence guard: wire snaking has second-order couplings (stage
@@ -153,8 +157,6 @@ func repairToTargets(tim *sta.Incremental, t *ctree.Tree, te *tech.Tech, lib *ce
 		// snake's wire capacitance also loads its stage driver, slowing
 		// the whole stage by Rd·c·dl — a first-order term the snake-length
 		// solve must include or every application overshoots.
-		drv := make([]int, len(t.Nodes))
-		rdDrv := make(map[int]float64)
 		t.PreOrder(func(v int) {
 			p := t.Nodes[v].Parent
 			if p == ctree.NoNode {
@@ -167,7 +169,7 @@ func repairToTargets(tim *sta.Incremental, t *ctree.Tree, te *tech.Tech, lib *ce
 				drv[v] = drv[p]
 			}
 		})
-		for u := range res.StageCap { //lint:commutative — fills rdDrv[u] independently per key; no cross-key state
+		for _, u := range res.Drivers {
 			b := &lib.Buffers[t.Nodes[u].BufIdx]
 			rdDrv[u] = buffering.Linearize(b, res.Slew[u]).Rd
 		}
@@ -175,7 +177,6 @@ func repairToTargets(tim *sta.Incremental, t *ctree.Tree, te *tech.Tech, lib *ce
 		// Worst transition in the subtree below each node: snaking an edge
 		// raises slews downstream of it, so the allowance is set by the
 		// most critical pin below.
-		worstBelow := make([]float64, len(t.Nodes))
 		t.PostOrder(func(v int) {
 			w := 0.0
 			if t.Nodes[v].BufIdx != ctree.NoBuf || t.IsLeaf(v) {
@@ -209,7 +210,6 @@ func repairToTargets(tim *sta.Incremental, t *ctree.Tree, te *tech.Tech, lib *ce
 		// stage boundary (buffers regenerate the signal), bounds the
 		// joint RSS slew impact of all snakes along a path.
 		applied := false
-		budgetSq := make([]float64, len(t.Nodes))
 		t.PreOrder(func(v int) {
 			p := t.Nodes[v].Parent
 			if p == ctree.NoNode {

@@ -318,7 +318,7 @@ func Build(sinks []ctree.Sink, src geom.Point, te *tech.Tech, lib *cell.Library,
 				topWork.Nodes[i].BufIdx = rl.CellIdx
 			}
 		}
-		final = stitch(sinks, src, topWork, trees, members, clusterRoots)
+		final = Stitch(sinks, src, topWork, trees, members, clusterRoots)
 		if iter == iters-1 {
 			break
 		}
@@ -455,9 +455,9 @@ func rebaseCluster(t *ctree.Tree, member []int, sinks []ctree.Sink, src geom.Poi
 // changes settle.
 func SizeBuffers(t *ctree.Tree, lib *cell.Library, cPerUm, refSlew, maxSlew float64) {
 	for pass := 0; pass < 2; pass++ {
-		caps := buffering.StageCaps(t, lib, cPerUm)
-		for v, load := range caps {
-			b, _ := lib.SmallestMeeting(refSlew, load, maxSlew)
+		caps, drivers := buffering.StageCaps(t, lib, cPerUm)
+		for _, v := range drivers {
+			b, _ := lib.SmallestMeeting(refSlew, caps[v], maxSlew)
 			t.Nodes[v].BufIdx = cellIndex(lib, b)
 		}
 	}
@@ -472,11 +472,16 @@ func cellIndex(lib *cell.Library, b *cell.Buffer) int {
 	return 0
 }
 
-// stitch assembles the final tree over the original sinks: the top tree
-// with each pseudo-sink leaf replaced by its cluster subtree. The cluster
-// root inherits the leaf's feeding-edge attributes; clusterRoots records
-// the final-tree node ID of each cluster's buffered root.
-func stitch(sinks []ctree.Sink, src geom.Point, top *ctree.Tree, trees []*ctree.Tree, members [][]int, clusterRoots []int) *ctree.Tree {
+// Stitch assembles a tree over the original sinks from a top tree whose
+// pseudo-sink i stands for subtree trees[i]: each pseudo-sink leaf is
+// replaced by its subtree, with the subtree's local sink indices mapped
+// to global ones through members[i]. The subtree root inherits the leaf's
+// feeding-edge attributes (length and rule); clusterRoots, sized
+// len(trees) by the caller, records the final-tree node ID of each
+// subtree's buffered root. The cts builder uses it to paste leaf clusters
+// under the repeated-line top tree; the hierarchical flow reuses it one
+// level up to paste whole region trees under the global top tree.
+func Stitch(sinks []ctree.Sink, src geom.Point, top *ctree.Tree, trees []*ctree.Tree, members [][]int, clusterRoots []int) *ctree.Tree {
 	final := ctree.NewTree(sinks, src)
 	var paste func(srcT *ctree.Tree, srcNode, parent int, member []int) int
 	paste = func(srcT *ctree.Tree, srcNode, parent int, member []int) int {

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestServeBodyCap413 exercises the request-body limit: payloads over
+// the cap are refused with 413 before any decoding; payloads under it
+// proceed (and fail later, on JSON shape, not on size).
+func TestServeBodyCap413(t *testing.T) {
+	sr := newStubRunner()
+	s := New(Config{Runner: sr, MaxBodyBytes: 256})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	big := `{"bench":"cns01","pad":"` + strings.Repeat("x", 512) + `"}`
+	resp := postFlow(t, ts, big)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body: status %d (%s), want 413", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "256 bytes") {
+		t.Errorf("413 body should name the limit: %s", body)
+	}
+
+	ok := postFlow(t, ts, `{"bench":"cns01"}`)
+	if okBody := readBody(t, ok); ok.StatusCode != http.StatusOK {
+		t.Fatalf("small body after oversize: status %d (%s)", ok.StatusCode, okBody)
+	}
+	if sr.Runs() != 1 {
+		t.Errorf("runner ran %d times, want 1 (oversize must not reach it)", sr.Runs())
+	}
+	<-sr.started
+}
+
+// TestServeBodyCapDefault confirms the zero-config cap is 1 MiB: a body
+// just under sails through decoding, one over gets 413.
+func TestServeBodyCapDefault(t *testing.T) {
+	s := New(Config{Runner: newStubRunner()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	over := strings.Repeat("x", defaultMaxBodyBytes+1)
+	resp := postFlow(t, ts, over)
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("default cap: status %d, want 413", resp.StatusCode)
+	}
+
+	// Under the cap: rejected as malformed JSON (400), not by size.
+	under := `{"bench":"cns01","junk":"` + strings.Repeat("x", 1024) + `"}`
+	resp = postFlow(t, ts, under)
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("under-cap junk: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestFlowRequestHierValidation(t *testing.T) {
+	base := FlowRequest{Bench: "cns01"}
+	good := base
+	good.MaxRegionSinks = 2048
+	good.SkewSplit = 0.6
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid hier request rejected: %v", err)
+	}
+	for _, mut := range []func(*FlowRequest){
+		func(r *FlowRequest) { r.MaxRegionSinks = -1 },
+		func(r *FlowRequest) { r.SkewSplit = -0.2 },
+		func(r *FlowRequest) { r.SkewSplit = 1.0 },
+	} {
+		r := base
+		mut(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad hier request accepted: %+v", r)
+		}
+	}
+}

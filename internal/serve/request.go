@@ -12,9 +12,12 @@ import (
 	"smartndr/internal/workload"
 )
 
-// maxBodyBytes bounds request bodies. Flow and sweep requests are a few
-// hundred bytes of JSON; anything near the limit is abuse, not traffic.
-const maxBodyBytes = 1 << 20
+// defaultMaxBodyBytes is the default request-body cap (Config.MaxBodyBytes).
+// Typical flow and sweep requests are a few hundred bytes of JSON; the
+// default leaves room for large inline specs while still bounding
+// per-request memory. Deployments that accept bigger payloads raise it
+// via -max-spec-bytes on the daemon.
+const defaultMaxBodyBytes = 1 << 20
 
 // FlowRequest is the wire form of POST /v1/flow: run one benchmark
 // through synthesis and one rule-assignment scheme. Exactly one of
@@ -32,6 +35,14 @@ type FlowRequest struct {
 	// TimeoutMS caps this request's deadline; the server clamps it to
 	// its configured maximum. 0 means the server default.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// MaxRegionSinks opts the run into partitioned hierarchical
+	// construction when the workload exceeds it (see smartndr.HierConfig).
+	// 0 builds flat regardless of size.
+	MaxRegionSinks int `json:"max_region_sinks,omitempty"`
+	// SkewSplit is the hierarchical intra-region skew-budget fraction;
+	// 0 means the engine default (0.5). Only meaningful with
+	// MaxRegionSinks.
+	SkewSplit float64 `json:"skew_split,omitempty"`
 }
 
 // SweepArm is one (scheme, corner) cell of a sweep: the scheme is
@@ -166,6 +177,12 @@ func (r *FlowRequest) Validate() error {
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("serve: negative timeout_ms %d", r.TimeoutMS)
 	}
+	if r.MaxRegionSinks < 0 {
+		return fmt.Errorf("serve: negative max_region_sinks %d", r.MaxRegionSinks)
+	}
+	if r.SkewSplit != 0 && (r.SkewSplit < 0 || r.SkewSplit >= 1) {
+		return fmt.Errorf("serve: skew_split %g out of (0,1)", r.SkewSplit)
+	}
 	return nil
 }
 
@@ -283,6 +300,10 @@ func (r *FlowRequest) flowConfig() (*smartndr.FlowConfig, error) {
 		Library: smartndr.DefaultLibraryFor(te),
 		TopK:    r.TopK,
 		InSlew:  r.InSlewPS * 1e-12,
+		Hier: smartndr.HierConfig{
+			MaxRegionSinks: r.MaxRegionSinks,
+			SkewSplit:      r.SkewSplit,
+		},
 	}, nil
 }
 

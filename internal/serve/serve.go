@@ -72,6 +72,11 @@ type Config struct {
 	// Workers bounds per-request sweep fan-out for the default runner
 	// (0 = all cores).
 	Workers int
+	// MaxBodyBytes caps request bodies; oversize requests are refused
+	// with 413 before any decoding (default 1 MiB). Large inline specs
+	// — e.g. hierarchical runs described sink-by-sink — may need more;
+	// the daemon exposes this as -max-spec-bytes.
+	MaxBodyBytes int64
 	// Tracer, when non-nil, records one span tree per request plus
 	// service counters. Each request gets a scoped view, so concurrent
 	// requests never interleave their span nesting.
@@ -116,6 +121,7 @@ type Server struct {
 	spanObs    *obs.SpanObserver
 	tracez     *TraceBuffer
 	lat        map[string]map[string]*obs.Histogram // endpoint → class → histogram
+	maxBody    int64
 	timeout    time.Duration
 	retryAfter time.Duration
 	now        func() time.Time
@@ -145,6 +151,9 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 256
 	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
 	if cfg.Runner == nil {
 		cfg.Runner = &FlowRunner{Workers: cfg.Workers}
 	}
@@ -162,6 +171,7 @@ func New(cfg Config) *Server {
 		gate:       par.NewGate(cfg.MaxConcurrent, cfg.QueueDepth),
 		tr:         cfg.Tracer,
 		reg:        reg,
+		maxBody:    cfg.MaxBodyBytes,
 		timeout:    cfg.RequestTimeout,
 		retryAfter: cfg.RetryAfter,
 		now:        now,
@@ -368,8 +378,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request,
 	sp := rtr.Start("serve."+endpoint, obs.I("req", int(reqID)))
 	defer sp.End()
 
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+			s.writeError(w, sp, status,
+				fmt.Errorf("serve: request body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
 		status = http.StatusBadRequest
 		s.writeError(w, sp, status, fmt.Errorf("serve: reading body: %w", err))
 		return

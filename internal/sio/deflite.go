@@ -2,6 +2,8 @@ package sio
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -51,12 +53,108 @@ func WriteDEFLiteFile(path string, bm *workload.Benchmark) error {
 	return WriteDEFLite(f, bm)
 }
 
+const (
+	// defliteChunkBytes is the read-buffer size of the streaming parser.
+	defliteChunkBytes = 64 * 1024
+	// defliteMaxLineBytes bounds one logical line. DEF-lite lines are a
+	// directive plus a few tokens; anything near this bound is garbage,
+	// and rejecting it keeps parser memory independent of input size.
+	defliteMaxLineBytes = 64 * 1024
+)
+
+var errLineTooLong = fmt.Errorf("line exceeds %d bytes", defliteMaxLineBytes)
+
+// lineDecoder yields '\n'-terminated lines from a reader using one
+// fixed-size chunk buffer plus a carry for lines that straddle chunk
+// boundaries. Unlike bufio.Scanner with a large token cap, its memory
+// stays bounded by chunk + max line size no matter how big the input
+// is. Returned slices are valid only until the next call.
+type lineDecoder struct {
+	r     io.Reader
+	chunk []byte // fixed read buffer
+	pend  []byte // unconsumed tail of chunk
+	carry []byte // partial line carried across refills
+	done  bool   // reader exhausted
+	stall int    // consecutive zero-byte reads
+}
+
+func newLineDecoder(r io.Reader, chunkBytes int) *lineDecoder {
+	if chunkBytes <= 0 {
+		chunkBytes = defliteChunkBytes
+	}
+	return &lineDecoder{r: r, chunk: make([]byte, chunkBytes)}
+}
+
+// next returns the next line with the trailing '\n' (and '\r', for CRLF
+// input) removed, or io.EOF after the last line. A final line without a
+// newline is returned as-is.
+func (d *lineDecoder) next() ([]byte, error) {
+	for {
+		if i := bytes.IndexByte(d.pend, '\n'); i >= 0 {
+			line := d.pend[:i]
+			d.pend = d.pend[i+1:]
+			if len(d.carry) > 0 {
+				if len(d.carry)+len(line) > defliteMaxLineBytes {
+					return nil, errLineTooLong
+				}
+				d.carry = append(d.carry, line...)
+				line = d.carry
+				d.carry = d.carry[:0]
+			}
+			return trimCR(line), nil
+		}
+		if len(d.pend) > 0 {
+			if len(d.carry)+len(d.pend) > defliteMaxLineBytes {
+				return nil, errLineTooLong
+			}
+			d.carry = append(d.carry, d.pend...)
+			d.pend = nil
+		}
+		if d.done {
+			if len(d.carry) > 0 {
+				line := d.carry
+				d.carry = nil
+				return trimCR(line), nil
+			}
+			return nil, io.EOF
+		}
+		n, err := d.r.Read(d.chunk)
+		d.pend = d.chunk[:n]
+		switch {
+		case err == io.EOF:
+			d.done = true
+		case err != nil:
+			return nil, err
+		case n == 0:
+			if d.stall++; d.stall > 100 {
+				return nil, io.ErrNoProgress
+			}
+		default:
+			d.stall = 0
+		}
+	}
+}
+
+func trimCR(line []byte) []byte {
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		return line[:n-1]
+	}
+	return line
+}
+
 // ReadDEFLite parses a DEF-lite stream into a benchmark. The returned
 // spec records the die and a synthetic name; distribution and seed are
-// zero (the sinks are explicit).
+// zero (the sinks are explicit). Parsing is streaming: memory is
+// bounded by one chunk plus one line plus the sinks themselves,
+// regardless of input size.
 func ReadDEFLite(r io.Reader, name string) (*workload.Benchmark, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return readDEFLite(r, name, defliteChunkBytes)
+}
+
+// readDEFLite is ReadDEFLite with the chunk size exposed so tests can
+// force lines to straddle chunk boundaries.
+func readDEFLite(r io.Reader, name string, chunkBytes int) (*workload.Benchmark, error) {
+	dec := newLineDecoder(r, chunkBytes)
 	bm := &workload.Benchmark{Spec: workload.Spec{Name: name, CapMin: 1e-18, CapMax: 1e-18}}
 	seen := make(map[string]bool)
 	var haveDie, haveSrc, ended bool
@@ -64,9 +162,19 @@ func ReadDEFLite(r io.Reader, name string) (*workload.Benchmark, error) {
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("sio: deflite line %d: %s", lineNo, fmt.Sprintf(format, args...))
 	}
-	for sc.Scan() {
+	for {
+		raw, err := dec.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if errors.Is(err, errLineTooLong) {
+				return nil, fmt.Errorf("sio: deflite line %d: %w", lineNo+1, err)
+			}
+			return nil, fmt.Errorf("sio: deflite: %w", err)
+		}
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
+		line := strings.TrimSpace(string(raw))
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
@@ -134,9 +242,6 @@ func ReadDEFLite(r io.Reader, name string) (*workload.Benchmark, error) {
 		default:
 			return nil, fail("unknown directive %q", fields[0])
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("sio: deflite: %w", err)
 	}
 	if !ended {
 		return nil, fmt.Errorf("sio: deflite: missing END")

@@ -1,0 +1,191 @@
+package sio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"smartndr/internal/workload"
+)
+
+func validDEF(t testing.TB) []byte {
+	t.Helper()
+	bm, err := workload.Generate(workload.Spec{
+		Name: "st", Dist: workload.Clustered, Sinks: 200, DieX: 1500, DieY: 1200,
+		CapMin: 1e-15, CapMax: 3e-15, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDEFLite(&buf, bm); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDEFLiteChunkBoundarySplits parses the same input at every tiny
+// chunk size, forcing each line to straddle a boundary somewhere, and
+// demands the result match the single-chunk parse exactly.
+func TestDEFLiteChunkBoundarySplits(t *testing.T) {
+	data := validDEF(t)
+	ref, err := readDEFLite(bytes.NewReader(data), "x", len(data)+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for chunk := 1; chunk <= 64; chunk++ {
+		got, err := readDEFLite(bytes.NewReader(data), "x", chunk)
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("chunk=%d: parse differs from single-chunk parse", chunk)
+		}
+	}
+}
+
+// TestDEFLiteTruncated cuts a valid file at every byte: every prefix
+// that lacks the final END directive must fail cleanly, and prefixes
+// that keep it (newline or not) must parse.
+func TestDEFLiteTruncated(t *testing.T) {
+	data := validDEF(t)
+	endPos := bytes.LastIndex(data, []byte("END"))
+	if endPos < 0 {
+		t.Fatal("no END in writer output")
+	}
+	for i := 0; i <= len(data); i++ {
+		bm, err := readDEFLite(bytes.NewReader(data[:i]), "x", 16)
+		if i < endPos+3 {
+			if err == nil {
+				t.Fatalf("prefix of %d bytes (END missing) parsed successfully", i)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("prefix of %d bytes (END present): %v", i, err)
+		}
+		if len(bm.Sinks) != 200 {
+			t.Fatalf("prefix of %d bytes: %d sinks", i, len(bm.Sinks))
+		}
+	}
+}
+
+func TestDEFLiteCRLF(t *testing.T) {
+	data := validDEF(t)
+	crlf := bytes.ReplaceAll(data, []byte("\n"), []byte("\r\n"))
+	ref, err := ReadDEFLite(bytes.NewReader(data), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := readDEFLite(bytes.NewReader(crlf), "x", 7)
+	if err != nil {
+		t.Fatalf("CRLF input rejected: %v", err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatal("CRLF parse differs from LF parse")
+	}
+}
+
+func TestDEFLiteNoTrailingNewline(t *testing.T) {
+	in := "DIE 0 0 100 100\nSOURCE 50 50\nSINK a 1 2 1.5\nEND"
+	bm, err := readDEFLite(strings.NewReader(in), "x", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bm.Sinks) != 1 || bm.Sinks[0].Name != "a" {
+		t.Fatalf("parsed %+v", bm.Sinks)
+	}
+}
+
+func TestDEFLiteLineTooLong(t *testing.T) {
+	long := "# " + strings.Repeat("x", defliteMaxLineBytes+1) + "\nDIE 0 0 1 1\n"
+	if _, err := readDEFLite(strings.NewReader(long), "x", 512); !errors.Is(err, errLineTooLong) {
+		t.Fatalf("oversize comment line: err = %v, want errLineTooLong", err)
+	}
+	// Oversize final line without a newline must also be caught.
+	tail := "DIE 0 0 100 100\nSOURCE 50 50\nSINK " + strings.Repeat("n", defliteMaxLineBytes+1)
+	if _, err := readDEFLite(strings.NewReader(tail), "x", 512); !errors.Is(err, errLineTooLong) {
+		t.Fatalf("oversize tail line: err = %v, want errLineTooLong", err)
+	}
+}
+
+// stutterReader returns zero-byte reads between real ones — legal for an
+// io.Reader — and must not hang or corrupt the parse.
+type stutterReader struct {
+	data []byte
+	tick int
+}
+
+func (s *stutterReader) Read(p []byte) (int, error) {
+	s.tick++
+	if s.tick%2 == 1 {
+		return 0, nil
+	}
+	if len(s.data) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p[:min(len(p), 5)], s.data)
+	s.data = s.data[n:]
+	return n, nil
+}
+
+func TestDEFLiteStutteringReader(t *testing.T) {
+	data := validDEF(t)
+	ref, err := ReadDEFLite(bytes.NewReader(data), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := readDEFLite(&stutterReader{data: data}, "x", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatal("stuttering reader parse differs")
+	}
+}
+
+func TestDEFLiteStalledReaderErrors(t *testing.T) {
+	stalled := readerFunc(func(p []byte) (int, error) { return 0, nil })
+	if _, err := readDEFLite(stalled, "x", 16); !errors.Is(err, io.ErrNoProgress) {
+		t.Fatalf("stalled reader: err = %v, want ErrNoProgress", err)
+	}
+}
+
+type readerFunc func(p []byte) (int, error)
+
+func (f readerFunc) Read(p []byte) (int, error) { return f(p) }
+
+// FuzzDEFLiteChunked is a differential fuzzer: any input must parse to
+// the same result (or fail with the same error) at every chunk size —
+// chunk boundaries are an implementation detail that must never leak
+// into parse semantics.
+func FuzzDEFLiteChunked(f *testing.F) {
+	f.Add([]byte("DIE 0 0 100 100\nSOURCE 50 50\nSINK a 1 2 1.5\nEND\n"))
+	f.Add([]byte("# c\nDIE 0 0 9 9\nSOURCE 4 4\nSINK s0 1 1 2\nSINK s1 2 2 3\nEND"))
+	f.Add([]byte("DIE 0 0 100 100\r\nSOURCE 50 50\r\nSINK a 1 2 1.5\r\nEND\r\n"))
+	f.Add([]byte("SINK early 1 2 3\n"))
+	f.Add([]byte("DIE 0 0 100 100\nSOURCE 50 50\nSINK a 1 2 1.5\nEND\nextra\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n#\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ref, refErr := readDEFLite(bytes.NewReader(data), "f", len(data)+1)
+		for _, chunk := range []int{1, 3, 17} {
+			got, err := readDEFLite(bytes.NewReader(data), "f", chunk)
+			if (err == nil) != (refErr == nil) {
+				t.Fatalf("chunk=%d: err=%v, reference err=%v", chunk, err, refErr)
+			}
+			if err != nil {
+				if err.Error() != refErr.Error() {
+					t.Fatalf("chunk=%d: error %q, reference %q", chunk, err, refErr)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("chunk=%d: parse differs from reference", chunk)
+			}
+		}
+	})
+}

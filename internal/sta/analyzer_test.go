@@ -60,9 +60,9 @@ func TestAnalyzerMatchesAnalyze(t *testing.T) {
 			if got.Skew() != want.Skew() || got.TotalSwitchedCap() != want.TotalSwitchedCap() {
 				t.Fatalf("round %d tree %d: summary diverges", round, ti)
 			}
-			if got.BufferCount != want.BufferCount || len(got.StageCap) != len(want.StageCap) {
+			if got.BufferCount != want.BufferCount || len(got.Drivers) != len(want.Drivers) {
 				t.Fatalf("round %d tree %d: stale inventory: %d bufs / %d stages, want %d / %d",
-					round, ti, got.BufferCount, len(got.StageCap), want.BufferCount, len(want.StageCap))
+					round, ti, got.BufferCount, len(got.Drivers), want.BufferCount, len(want.Drivers))
 			}
 			if got.MaxSinkArrival() != want.MaxSinkArrival() {
 				t.Fatalf("round %d tree %d: sink set stale", round, ti)

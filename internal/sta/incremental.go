@@ -569,11 +569,15 @@ func (inc *Incremental) runCrossCheck(t *ctree.Tree, inSlew float64) error {
 				i, got.Arrival[i], want.Arrival[i], got.Slew[i], want.Slew[i], got.DownCap[i], want.DownCap[i])
 		}
 	}
-	// Pure comparison: pass/fail is order-independent (only which mismatch
-	// is reported first varies, and any mismatch is already a hard error).
-	for d, w := range want.StageCap { //lint:commutative
-		if diff(got.StageCap[d], w) {
-			return fmt.Errorf("sta: incremental cross-check mismatch: StageCap[%d] %g vs %g", d, got.StageCap[d], w)
+	if len(got.Drivers) != len(want.Drivers) {
+		return fmt.Errorf("sta: incremental cross-check mismatch: %d drivers vs %d", len(got.Drivers), len(want.Drivers))
+	}
+	for k, d := range want.Drivers {
+		if got.Drivers[k] != d {
+			return fmt.Errorf("sta: incremental cross-check mismatch: driver[%d] %d vs %d", k, got.Drivers[k], d)
+		}
+		if diff(got.StageCap[d], want.StageCap[d]) {
+			return fmt.Errorf("sta: incremental cross-check mismatch: StageCap[%d] %g vs %g", d, got.StageCap[d], want.StageCap[d])
 		}
 	}
 	if diff(got.WireCap, want.WireCap) || diff(got.BufInCap, want.BufInCap) ||

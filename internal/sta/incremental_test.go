@@ -26,12 +26,15 @@ func compareExact(t *testing.T, tag string, tree *ctree.Tree, got, want *sta.Res
 			t.Fatalf("%s: node %d downcap %.17g, want %.17g", tag, v, got.DownCap[v], want.DownCap[v])
 		}
 	}
-	if len(got.StageCap) != len(want.StageCap) {
-		t.Fatalf("%s: %d stages, want %d", tag, len(got.StageCap), len(want.StageCap))
+	if len(got.Drivers) != len(want.Drivers) {
+		t.Fatalf("%s: %d stages, want %d", tag, len(got.Drivers), len(want.Drivers))
 	}
-	for d, w := range want.StageCap {
-		if got.StageCap[d] != w {
-			t.Fatalf("%s: StageCap[%d] %.17g, want %.17g", tag, d, got.StageCap[d], w)
+	for k, d := range want.Drivers {
+		if got.Drivers[k] != d {
+			t.Fatalf("%s: driver[%d] = %d, want %d", tag, k, got.Drivers[k], d)
+		}
+		if got.StageCap[d] != want.StageCap[d] {
+			t.Fatalf("%s: StageCap[%d] %.17g, want %.17g", tag, d, got.StageCap[d], want.StageCap[d])
 		}
 	}
 	if got.WireCap != want.WireCap || got.SinkCap != want.SinkCap ||

@@ -32,9 +32,13 @@ type Result struct {
 	Arrival []float64
 	// Slew[v] is the transition at node v's input pin, s.
 	Slew []float64
-	// StageCap maps each buffered node to the capacitance its buffer
-	// drives, F.
-	StageCap map[int]float64
+	// StageCap[v] is the capacitance the buffer at node v drives, F.
+	// Entries are meaningful only at buffered nodes; Drivers lists those
+	// nodes, so `for _, d := range r.Drivers { r.StageCap[d] }` is the
+	// canonical (and deterministic) way to walk the stages.
+	StageCap []float64
+	// Drivers lists the buffered node indices in ascending node order.
+	Drivers []int
 	// DownCap[v] is the π-lumped downstream capacitance at and below v
 	// *within its stage* (buffer inputs terminate the accumulation), F.
 	// It is exactly the load an extra micron of wire on v's feeding edge
@@ -181,7 +185,7 @@ func NewAnalyzer(te *tech.Tech, lib *cell.Library) *Analyzer {
 }
 
 // Analyze evaluates the tree, reusing the analyzer's storage. The
-// returned Result (including its DownCap slice and StageCap map) is
+// returned Result (including its DownCap and StageCap slices) is
 // owned by the analyzer and overwritten by the next call — clone
 // whatever must outlive it.
 func (a *Analyzer) Analyze(t *ctree.Tree, inSlew float64, ov *Overrides) (*Result, error) {
@@ -202,6 +206,7 @@ func (a *Analyzer) resize(n int) {
 		a.stageDelay = make([]float64, n)
 		a.res.Arrival = make([]float64, n)
 		a.res.Slew = make([]float64, n)
+		a.res.StageCap = make([]float64, n)
 	} else {
 		a.edgeR = a.edgeR[:n]
 		a.edgeC = a.edgeC[:n]
@@ -214,12 +219,10 @@ func (a *Analyzer) resize(n int) {
 		a.stageDelay = a.stageDelay[:n]
 		a.res.Arrival = a.res.Arrival[:n]
 		a.res.Slew = a.res.Slew[:n]
-	}
-	if a.res.StageCap == nil {
-		a.res.StageCap = make(map[int]float64)
-	} else {
+		a.res.StageCap = a.res.StageCap[:n]
 		clear(a.res.StageCap)
 	}
+	a.res.Drivers = a.res.Drivers[:0]
 	a.res.DownCap = nil
 	a.res.sinkNodes = a.res.sinkNodes[:0]
 	a.res.WireCap, a.res.SinkCap, a.res.BufInCap, a.res.BufIntCap = 0, 0, 0, 0
@@ -289,6 +292,7 @@ func (a *Analyzer) analyze(t *ctree.Tree, inSlew float64, ov *Overrides, tr *obs
 			res.BufIntCap += b.InternalCap
 			res.LeakageTot += b.Leakage
 			res.BufferCount++
+			res.Drivers = append(res.Drivers, i)
 		case t.IsLeaf(i):
 			L[i] = t.Sinks[nd.SinkIdx].Cap
 			res.SinkCap += L[i]

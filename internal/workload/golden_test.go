@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// benchHash reduces a benchmark to a SHA-256 over every byte of every
+// sink: names, exact coordinates, exact capacitances.
+func benchHash(bm *Benchmark) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, sk := range bm.Sinks {
+		h.Write([]byte(sk.Name))
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(sk.Loc.X))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(sk.Loc.Y))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(sk.Cap))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGenerateByteLayoutFrozen pins the exact output of the unsharded
+// generator for one spec of each distribution. Benchmarks are identified
+// by spec everywhere (flow cache keys, experiment tables, BENCH_*.json
+// baselines), so regenerating different bytes for an old spec would
+// silently invalidate all of them. If this test fails, the generator's
+// draw order changed — that is a breaking change, not a test to update.
+func TestGenerateByteLayoutFrozen(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{CNSSuite()[0], "aa1dd4b63818626fbcce09352836d7c71ba69ae9617961630cd7104e35f756e6"},
+		{CNSSuite()[1], "face94297d960f5c1d26fc637acc3cfc8f094c907d91bf8af9dc1430edd72a44"},
+		{Spec{Name: "p", Dist: Perimeter, Sinks: 777, DieX: 2000, DieY: 1500, CapMin: 1e-15, CapMax: 2e-15, Seed: 42},
+			"6224b97a4b32183ae303bf74b1477146d6982794728e114ae942ea2b02f7e67c"},
+		{Spec{Name: "g", Dist: Grid, Sinks: 500, DieX: 1800, DieY: 1200, CapMin: 1e-15, CapMax: 2e-15, Seed: 6},
+			"8afbedd1682096f12173e26d7021a6bf3c9347928dc718f10b763e6c69a58013"},
+	}
+	for _, c := range cases {
+		bm, err := Generate(c.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := benchHash(bm); got != c.want {
+			t.Errorf("%s (%v): generator byte layout changed\n got %s\nwant %s",
+				c.spec.Name, c.spec.Dist, got, c.want)
+		}
+	}
+}
+
+// TestGeneratePWorkerInvariance is the sharded generator's determinism
+// contract: same bytes at every worker count, including serial.
+func TestGeneratePWorkerInvariance(t *testing.T) {
+	for _, dist := range []Distribution{Uniform, Clustered, Perimeter, Grid} {
+		spec := Spec{
+			Name: "sh", Dist: dist, Sinks: 5000, DieX: 4000, DieY: 3200,
+			CapMin: 1e-15, CapMax: 4e-15, Seed: 31, Shard: 512,
+		}
+		serial, err := GenerateP(spec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := benchHash(serial)
+		for _, workers := range []int{2, 8} {
+			par, err := GenerateP(spec, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := benchHash(par); got != want {
+				t.Errorf("%v: workers=%d output differs from serial", dist, workers)
+			}
+		}
+	}
+}
+
+func TestGeneratePShardedValid(t *testing.T) {
+	spec := Spec{
+		Name: "sv", Dist: Clustered, Sinks: 3000, DieX: 3000, DieY: 2400,
+		CapMin: 1e-15, CapMax: 4e-15, Seed: 7, Shard: 256,
+	}
+	bm, err := GenerateP(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bm.Sinks) != spec.Sinks {
+		t.Fatalf("%d sinks, want %d", len(bm.Sinks), spec.Sinks)
+	}
+	seen := make(map[string]bool, spec.Sinks)
+	for i, sk := range bm.Sinks {
+		if sk.Name != fmt.Sprintf("%s/ff%05d", spec.Name, i) {
+			t.Fatalf("sink %d name %q", i, sk.Name)
+		}
+		if seen[sk.Name] {
+			t.Fatalf("duplicate name %q", sk.Name)
+		}
+		seen[sk.Name] = true
+		if sk.Loc.X < 0 || sk.Loc.X > spec.DieX || sk.Loc.Y < 0 || sk.Loc.Y > spec.DieY {
+			t.Fatalf("sink %d at %v outside die", i, sk.Loc)
+		}
+		if sk.Cap < spec.CapMin || sk.Cap > spec.CapMax {
+			t.Fatalf("sink %d cap %g out of range", i, sk.Cap)
+		}
+	}
+	// Sharding changes the stream layout, deliberately: the shard size is
+	// part of the spec identity.
+	unsharded := spec
+	unsharded.Shard = 0
+	flat, err := Generate(unsharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if benchHash(flat) == benchHash(bm) {
+		t.Error("sharded and unsharded output identical — substreams not in effect")
+	}
+}
+
+func TestAppendSinkNameMatchesSprintf(t *testing.T) {
+	buf := make([]byte, 0, 32)
+	for _, i := range []int{0, 7, 10, 99, 100, 1000, 9999, 10000, 12345, 99999, 100000, 1234567} {
+		buf = appendSinkName(buf[:0], "blk", i)
+		if want := fmt.Sprintf("blk/ff%05d", i); string(buf) != want {
+			t.Errorf("appendSinkName(%d) = %q, want %q", i, buf, want)
+		}
+	}
+}
+
+func TestScaleSpec(t *testing.T) {
+	s := Scale("scale100k", 100_000, 1)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.DieX != 3000 || s.DieY != 2400 {
+		t.Errorf("100K die = %g × %g, want 3000 × 2400", s.DieX, s.DieY)
+	}
+	if s.Shard <= 0 {
+		t.Error("scale specs must be sharded for parallel generation")
+	}
+	// Constant density: 4× the sinks → 2× the die edge.
+	big := Scale("scale400k", 400_000, 1)
+	if math.Abs(big.DieX-6000) > 1e-9 {
+		t.Errorf("400K die edge %g, want 6000", big.DieX)
+	}
+	// Small scale specs stay cheap enough to generate in tests.
+	bm, err := GenerateP(Scale("s", 2000, 3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bm.Sinks) != 2000 {
+		t.Fatalf("%d sinks", len(bm.Sinks))
+	}
+}
+
+func TestSpecValidateShard(t *testing.T) {
+	s := Spec{Name: "x", Sinks: 10, DieX: 100, DieY: 100, CapMin: 1e-15, CapMax: 2e-15, Shard: -1}
+	if err := s.Validate(); err == nil {
+		t.Error("negative shard accepted")
+	}
+}

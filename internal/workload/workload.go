@@ -2,17 +2,21 @@
 // pin capacitances with the statistical shapes of the standard CTS
 // benchmark suites (uniform ISPD-CNS-style floorplans, register banks,
 // clustered SoC blocks, perimeter-heavy I/O designs). Every generator is
-// deterministic in its seed.
+// deterministic in its seed, and sharded specs (Shard > 0) generate
+// byte-identically on any number of workers.
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 
 	"smartndr/internal/ctree"
 	"smartndr/internal/geom"
+	"smartndr/internal/par"
 )
 
 // Distribution selects the sink placement shape.
@@ -59,6 +63,13 @@ type Spec struct {
 	Seed   int64        `json:"seed"`
 	// Clusters is the clump count for the Clustered distribution.
 	Clusters int `json:"clusters,omitempty"`
+	// Shard, when positive, carves generation into fixed index ranges of
+	// that size, each drawn from its own SplitMix64 substream of Seed.
+	// Sharded specs generate in parallel (GenerateP) with byte-identical
+	// output at every worker count. Shard is part of the spec identity: a
+	// sharded spec's sinks differ from the same spec unsharded, but never
+	// from one run to the next.
+	Shard int `json:"shard,omitempty"`
 }
 
 // Validate checks the spec.
@@ -72,6 +83,8 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("workload %s: non-positive die", s.Name)
 	case s.CapMin <= 0 || s.CapMax < s.CapMin:
 		return fmt.Errorf("workload %s: bad cap range [%g, %g]", s.Name, s.CapMin, s.CapMax)
+	case s.Shard < 0:
+		return fmt.Errorf("workload %s: negative shard size %d", s.Name, s.Shard)
 	}
 	return nil
 }
@@ -83,19 +96,38 @@ type Benchmark struct {
 	Src   geom.Point   `json:"src"` // clock source location (die center)
 }
 
-// Generate produces the benchmark for a spec.
-func Generate(s Spec) (*Benchmark, error) {
+// Generate produces the benchmark for a spec on one goroutine.
+func Generate(s Spec) (*Benchmark, error) { return GenerateP(s, 1) }
+
+// GenerateP produces the benchmark on up to workers goroutines. The
+// output is a pure function of the spec: an unsharded spec always
+// generates serially from a single stream (its historical byte layout
+// is frozen — see the golden test), while a sharded spec draws every
+// shard from its own substream, so the result is identical whether the
+// shards ran on one worker or sixteen.
+func GenerateP(s Spec, workers int) (*Benchmark, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(s.Seed))
 	sinks := make([]ctree.Sink, s.Sinks)
-	place := placer(s, rng)
-	for i := range sinks {
-		sinks[i] = ctree.Sink{
-			Name: fmt.Sprintf("%s/ff%05d", s.Name, i),
-			Loc:  place(),
-			Cap:  s.CapMin + rng.Float64()*(s.CapMax-s.CapMin),
+	if s.Shard <= 0 {
+		rng := rand.New(rand.NewSource(s.Seed))
+		fillSinks(s, clusterCenters(s, rng), sinks, 0, rng)
+	} else {
+		// Centers come from a dedicated stream: the shard substreams must
+		// not shift with however many draws the center setup consumed.
+		centers := clusterCenters(s, rand.New(rand.NewSource(s.Seed)))
+		shards := (s.Sinks + s.Shard - 1) / s.Shard
+		err := par.ForEach(context.Background(), par.Workers(workers), shards, func(j int) error {
+			var src par.Source
+			src.Seed(par.SubstreamSeed(s.Seed, j))
+			lo := j * s.Shard
+			hi := min(lo+s.Shard, s.Sinks)
+			fillSinks(s, centers, sinks[lo:hi], lo, rand.New(&src))
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 	return &Benchmark{
@@ -105,7 +137,63 @@ func Generate(s Spec) (*Benchmark, error) {
 	}, nil
 }
 
-func placer(s Spec, rng *rand.Rand) func() geom.Point {
+// fillSinks generates sinks for global indices [base, base+len(out))
+// from rng. Per sink the draw order is placement first, then cap.
+func fillSinks(s Spec, centers []geom.Point, out []ctree.Sink, base int, rng *rand.Rand) {
+	buf := make([]byte, 0, len(s.Name)+16)
+	for j := range out {
+		i := base + j
+		buf = appendSinkName(buf[:0], s.Name, i)
+		out[j] = ctree.Sink{
+			Name: string(buf),
+			Loc:  placeOne(s, centers, rng, i),
+			Cap:  s.CapMin + rng.Float64()*(s.CapMax-s.CapMin),
+		}
+	}
+}
+
+// appendSinkName appends "<name>/ffNNNNN" — zero-padded to five digits,
+// wider when the index needs it; byte-for-byte what
+// fmt.Sprintf("%s/ff%05d", name, i) produces, at a fraction of the cost
+// (which matters when generating a million names).
+func appendSinkName(buf []byte, name string, i int) []byte {
+	buf = append(buf, name...)
+	buf = append(buf, '/', 'f', 'f')
+	switch {
+	case i < 10:
+		buf = append(buf, "0000"...)
+	case i < 100:
+		buf = append(buf, "000"...)
+	case i < 1000:
+		buf = append(buf, "00"...)
+	case i < 10000:
+		buf = append(buf, '0')
+	}
+	return strconv.AppendInt(buf, int64(i), 10)
+}
+
+// clusterCenters draws the Clustered distribution's clump centers (nil
+// for every other distribution). Centers are drawn before any sink, so
+// unsharded streams keep their historical byte layout.
+func clusterCenters(s Spec, rng *rand.Rand) []geom.Point {
+	if s.Dist != Clustered {
+		return nil
+	}
+	k := s.Clusters
+	if k <= 0 {
+		k = 1 + s.Sinks/150
+	}
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		centers[i] = geom.Point{X: rng.Float64() * s.DieX, Y: rng.Float64() * s.DieY}
+	}
+	return centers
+}
+
+// placeOne draws the placement for sink i. The per-distribution draw
+// order is frozen: it defines the byte content of every benchmark ever
+// generated from a spec, and the golden test pins it.
+func placeOne(s Spec, centers []geom.Point, rng *rand.Rand, i int) geom.Point {
 	clamp := func(p geom.Point) geom.Point {
 		return geom.Point{
 			X: geom.Clamp(p.X, 0, s.DieX),
@@ -114,41 +202,29 @@ func placer(s Spec, rng *rand.Rand) func() geom.Point {
 	}
 	switch s.Dist {
 	case Clustered:
-		k := s.Clusters
-		if k <= 0 {
-			k = 1 + s.Sinks/150
+		if rng.Float64() < 0.15 { // uniform background
+			return geom.Point{X: rng.Float64() * s.DieX, Y: rng.Float64() * s.DieY}
 		}
-		centers := make([]geom.Point, k)
-		for i := range centers {
-			centers[i] = geom.Point{X: rng.Float64() * s.DieX, Y: rng.Float64() * s.DieY}
-		}
-		sigma := math.Min(s.DieX, s.DieY) / (3 * math.Sqrt(float64(k)))
-		return func() geom.Point {
-			if rng.Float64() < 0.15 { // uniform background
-				return geom.Point{X: rng.Float64() * s.DieX, Y: rng.Float64() * s.DieY}
-			}
-			c := centers[rng.Intn(k)]
-			return clamp(geom.Point{
-				X: c.X + rng.NormFloat64()*sigma,
-				Y: c.Y + rng.NormFloat64()*sigma,
-			})
-		}
+		sigma := math.Min(s.DieX, s.DieY) / (3 * math.Sqrt(float64(len(centers))))
+		c := centers[rng.Intn(len(centers))]
+		return clamp(geom.Point{
+			X: c.X + rng.NormFloat64()*sigma,
+			Y: c.Y + rng.NormFloat64()*sigma,
+		})
 	case Perimeter:
 		band := math.Min(s.DieX, s.DieY) * 0.12
-		return func() geom.Point {
-			if rng.Float64() < 0.2 { // sparse center
-				return geom.Point{X: rng.Float64() * s.DieX, Y: rng.Float64() * s.DieY}
-			}
-			switch rng.Intn(4) {
-			case 0:
-				return geom.Point{X: rng.Float64() * s.DieX, Y: rng.Float64() * band}
-			case 1:
-				return geom.Point{X: rng.Float64() * s.DieX, Y: s.DieY - rng.Float64()*band}
-			case 2:
-				return geom.Point{X: rng.Float64() * band, Y: rng.Float64() * s.DieY}
-			default:
-				return geom.Point{X: s.DieX - rng.Float64()*band, Y: rng.Float64() * s.DieY}
-			}
+		if rng.Float64() < 0.2 { // sparse center
+			return geom.Point{X: rng.Float64() * s.DieX, Y: rng.Float64() * s.DieY}
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return geom.Point{X: rng.Float64() * s.DieX, Y: rng.Float64() * band}
+		case 1:
+			return geom.Point{X: rng.Float64() * s.DieX, Y: s.DieY - rng.Float64()*band}
+		case 2:
+			return geom.Point{X: rng.Float64() * band, Y: rng.Float64() * s.DieY}
+		default:
+			return geom.Point{X: s.DieX - rng.Float64()*band, Y: rng.Float64() * s.DieY}
 		}
 	case Grid:
 		cols := int(math.Ceil(math.Sqrt(float64(s.Sinks) * s.DieX / s.DieY)))
@@ -158,20 +234,14 @@ func placer(s Spec, rng *rand.Rand) func() geom.Point {
 		rows := (s.Sinks + cols - 1) / cols
 		px := s.DieX / float64(cols)
 		py := s.DieY / float64(rows)
-		i := 0
-		return func() geom.Point {
-			cx := float64(i%cols) * px
-			cy := float64(i/cols%rows) * py
-			i++
-			return clamp(geom.Point{
-				X: cx + px/2 + rng.NormFloat64()*px/8,
-				Y: cy + py/2 + rng.NormFloat64()*py/8,
-			})
-		}
+		cx := float64(i%cols) * px
+		cy := float64(i/cols%rows) * py
+		return clamp(geom.Point{
+			X: cx + px/2 + rng.NormFloat64()*px/8,
+			Y: cy + py/2 + rng.NormFloat64()*py/8,
+		})
 	default: // Uniform
-		return func() geom.Point {
-			return geom.Point{X: rng.Float64() * s.DieX, Y: rng.Float64() * s.DieY}
-		}
+		return geom.Point{X: rng.Float64() * s.DieX, Y: rng.Float64() * s.DieY}
 	}
 }
 
@@ -202,6 +272,27 @@ func CNSSuite() []Spec {
 		mk(6, Clustered, 4000, 7000),
 		mk(7, Uniform, 6000, 8000),
 		mk(8, Clustered, 8000, 9000),
+	}
+}
+
+// Scale returns a synthetic scale-testing spec: a clustered SoC-like
+// floorplan sized to constant sink density — the 100K-sink design gets
+// a 3.0 × 2.4 mm die and area grows linearly with sink count, so wire
+// geometry stays realistic at every size. Scale specs are sharded, so
+// GenerateP fans generation out across workers without changing a byte
+// of the output.
+func Scale(name string, sinks int, seed int64) Spec {
+	die := 3000 * math.Sqrt(float64(sinks)/100_000)
+	return Spec{
+		Name:   name,
+		Dist:   Clustered,
+		Sinks:  sinks,
+		DieX:   die,
+		DieY:   die * 0.8,
+		CapMin: 1e-15,
+		CapMax: 4e-15,
+		Seed:   seed,
+		Shard:  1 << 16,
 	}
 }
 
