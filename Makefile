@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all build check vet fmt lint lint-extra test race bench bench-smoke bench-scale bench-json cover fuzz-smoke ci clean
+.PHONY: all build check vet fmt lint lint-extra test race bench bench-smoke bench-scale bench-json cover fuzz-smoke cluster-smoke ci clean
 
 # Coverage floor (percent) enforced on internal/serve — the service
 # layer is pure coordination logic, so uncovered lines are usually
@@ -34,8 +34,8 @@ fmt:
 	fi
 
 # The repo's own analyzer suite (internal/analysis, docs/static-analysis.md):
-# maporder, seededrand, wallclock, spanhygiene, floatorder, metricname.
-# Must exit clean.
+# maporder, seededrand, wallclock, spanhygiene, floatorder, metricname,
+# httpbody. Must exit clean.
 lint:
 	$(GO) run ./cmd/smartndrlint ./...
 
@@ -70,13 +70,13 @@ bench-scale:
 
 # Machine-readable perf snapshot of the Monte Carlo worker-scaling, flow
 # (including the 100K-sink hierarchical point), and incremental-STA
-# benchmarks (see docs/performance.md). BENCH_PR7.json is committed so
-# perf regressions diff in review; earlier snapshots (BENCH_PR2/PR3)
+# benchmarks (see docs/performance.md). BENCH_PR8.json is committed so
+# perf regressions diff in review; earlier snapshots (BENCH_PR2/PR3/PR7)
 # stay as history.
 bench-json:
 	$(GO) test -bench='MonteCarlo|Flow|Optimize|RepairSkew' -benchmem -run=^$$ . ./internal/core \
-		| $(GO) run ./internal/tools/bench2json -out BENCH_PR7.json
-	@echo wrote BENCH_PR7.json
+		| $(GO) run ./internal/tools/bench2json -out BENCH_PR8.json
+	@echo wrote BENCH_PR8.json
 
 # Per-package coverage summary plus an enforced floor on internal/serve.
 # Writes cover.out (uploaded as a CI artifact) and prints the func-level
@@ -98,14 +98,26 @@ cover:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFlowRequest$$' -fuzztime $(FUZZTIME) ./internal/serve/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSweepRequest$$' -fuzztime $(FUZZTIME) ./internal/serve/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeBatchRequest$$' -fuzztime $(FUZZTIME) ./internal/serve/
 	$(GO) test -run '^$$' -fuzz '^FuzzSpecCanonical$$' -fuzztime $(FUZZTIME) ./internal/workload/
 	$(GO) test -run '^$$' -fuzz '^FuzzDEFLiteChunked$$' -fuzztime $(FUZZTIME) ./internal/sio/
+
+# The 3-node cluster differential smoke: a frontend sharding across two
+# workers (HTTP and loopback transports) plus the full daemon fleet
+# test must return single-node bytes on every endpoint, under -race.
+# CI runs this as its own step so a cluster-layer regression is named
+# in the job list, not buried in `race`.
+cluster-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestClusterFlowByteIdenticalToSingleNode|TestClusterSweepByteIdenticalAtAnyWorkerCount|TestClusterBatchByteIdenticalToSingleNode|TestClusterSweepThroughputScales|TestClusterHedgingCutsTailLatency' \
+		./internal/cluster/
+	$(GO) test -race -count=1 -run 'TestDaemonClusterRoles' ./cmd/smartndrd/
 
 # What CI runs (.github/workflows/ci.yml): everything check does plus a
 # plain build, the full test suite, the benchmark smoke pass, the scale
 # canary, the fuzz smoke pass, and the coverage floor. CI also runs
 # lint-extra, which needs network access for the pinned tools.
-ci: build vet fmt lint test race bench-smoke bench-scale fuzz-smoke cover
+ci: build vet fmt lint test race cluster-smoke bench-smoke bench-scale fuzz-smoke cover
 
 clean:
 	$(GO) clean ./...

@@ -9,12 +9,26 @@
 //	smartndrd -addr localhost:8147 -max-concurrent 4 -queue-depth 8
 //	smartndrd -trace spans.jsonl -request-timeout 30s
 //
+// One binary serves every role in a fleet (-role):
+//
+//	standalone  (default) single node, in-process loopback backend
+//	worker      identical to standalone; addressed by a frontend
+//	frontend    routes across -backends: consistent-hash cache shards,
+//	            per-backend admission gates, hedged retries on
+//	            stragglers, periodic health probes
+//
+//	smartndrd -role worker -addr :8148
+//	smartndrd -role worker -addr :8149
+//	smartndrd -role frontend -addr :8147 \
+//	    -backends http://localhost:8148,http://localhost:8149
+//
 // Endpoints (see docs/service.md and docs/observability.md):
 //
 //	POST /v1/flow     run one benchmark through one scheme
 //	POST /v1/sweep    scheme×corner arm batch on one shared tree
+//	POST /v1/batch    many flow requests in one round trip
 //	GET  /v1/healthz  liveness (503 while draining)
-//	GET  /v1/statsz   counters, latency percentiles, cache and admission state
+//	GET  /v1/statsz   counters, latency percentiles, cache, admission, shards
 //	GET  /v1/tracez   slowest + most recent request span trees
 //	GET  /metricsz    Prometheus text exposition (counters, gauges, histograms)
 //
@@ -37,9 +51,11 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"smartndr/internal/cluster"
 	"smartndr/internal/obs"
 	"smartndr/internal/serve"
 )
@@ -71,6 +87,12 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	metrics := fs.Bool("metrics", true, "aggregate span latencies into /metricsz histograms")
 	tracezCap := fs.Int("tracez-capacity", 64, "request span trees retained for /v1/tracez (0 disables)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	role := fs.String("role", "standalone", "standalone | worker | frontend")
+	backends := fs.String("backends", "", "frontend backend list, comma-separated [name=]url ('loopback' = in-process)")
+	backendConc := fs.Int("backend-concurrent", 0, "frontend: max in-flight calls per backend (0 = default 4)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "frontend: fixed hedge delay (0 = adaptive recent p95)")
+	noHedge := fs.Bool("no-hedge", false, "frontend: disable hedged retries")
+	probeEvery := fs.Duration("probe-interval", 5*time.Second, "frontend: backend health-probe period (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,7 +137,29 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 		return err
 	}
 
+	// Every role routes through the cluster runner; standalone and
+	// worker get a single in-process loopback backend (no HTTP hop, no
+	// behavior change), frontend gets the configured shard set.
+	specs, err := parseBackends(*role, *backends)
+	if err != nil {
+		closeTrace()
+		return err
+	}
+	runner, err := cluster.NewRunner(cluster.Config{
+		Local:             &serve.FlowRunner{Workers: *workers},
+		Backends:          specs,
+		BackendConcurrent: *backendConc,
+		HedgeAfter:        *hedgeAfter,
+		DisableHedge:      *noHedge,
+		Tracer:            tracer,
+	})
+	if err != nil {
+		closeTrace()
+		return err
+	}
+
 	srv := serve.New(serve.Config{
+		Runner:         runner,
 		MaxConcurrent:  *maxConc,
 		QueueDepth:     *queueDepth,
 		RequestTimeout: *reqTimeout,
@@ -128,6 +172,28 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 		TracezCapacity: *tracezCap,
 	})
 
+	// Frontends keep membership fresh: a probe loop marks dead backends
+	// down (routing and hedging skip them) and recovers them when they
+	// answer again.
+	probeDone := make(chan struct{})
+	if !runner.Standalone() && *probeEvery > 0 {
+		ticker := time.NewTicker(*probeEvery)
+		go func() {
+			defer ticker.Stop()
+			for {
+				select {
+				case <-probeDone:
+					return
+				case <-ticker.C:
+					ctx, cancel := context.WithTimeout(context.Background(), *probeEvery)
+					runner.Probe(ctx)
+					cancel()
+				}
+			}
+		}()
+	}
+	defer close(probeDone)
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -135,7 +201,10 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(stderr, "smartndrd: serving on %s\n", ln.Addr())
+	fmt.Fprintf(stderr, "smartndrd: %s serving on %s\n", *role, ln.Addr())
+	if !runner.Standalone() {
+		fmt.Fprintf(stderr, "smartndrd: routing across %d backends\n", runner.Ring().Backends())
+	}
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -169,6 +238,51 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 		fmt.Fprintln(stderr, "smartndrd: trace:", err)
 	}
 	return drainErr
+}
+
+// parseBackends resolves the -role/-backends pair into a backend spec
+// list. Standalone and worker roles take no backend list (they are the
+// single in-process backend); frontend requires one. Each entry is
+// [name=]url, where the url "loopback" selects the in-process backend
+// (a frontend can serve a shard of the keyspace itself).
+func parseBackends(role, list string) ([]cluster.BackendSpec, error) {
+	switch role {
+	case "standalone", "worker":
+		if list != "" {
+			return nil, fmt.Errorf("-backends is only valid with -role frontend")
+		}
+		return nil, nil
+	case "frontend":
+		if list == "" {
+			return nil, fmt.Errorf("-role frontend requires -backends")
+		}
+	default:
+		return nil, fmt.Errorf("unknown -role %q (standalone | worker | frontend)", role)
+	}
+	var specs []cluster.BackendSpec
+	for _, entry := range strings.Split(list, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		var spec cluster.BackendSpec
+		if name, url, ok := strings.Cut(entry, "="); ok {
+			spec = cluster.BackendSpec{Name: name, URL: url}
+		} else {
+			spec = cluster.BackendSpec{URL: entry}
+		}
+		if spec.URL == "loopback" {
+			spec.URL = ""
+			if spec.Name == "" {
+				spec.Name = "loopback"
+			}
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("-backends has no entries")
+	}
+	return specs, nil
 }
 
 // startPprof serves net/http/pprof on addr when non-empty, on its own

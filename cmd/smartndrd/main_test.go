@@ -195,3 +195,134 @@ func TestDaemonBadFlags(t *testing.T) {
 		t.Fatal("unlistenable address accepted")
 	}
 }
+
+func TestParseBackends(t *testing.T) {
+	cases := []struct {
+		name, role, list string
+		wantErr          bool
+		wantSpecs        int
+	}{
+		{"standalone default", "standalone", "", false, 0},
+		{"worker default", "worker", "", false, 0},
+		{"standalone rejects backends", "standalone", "http://a", true, 0},
+		{"worker rejects backends", "worker", "http://a", true, 0},
+		{"frontend requires backends", "frontend", "", true, 0},
+		{"frontend empty entries", "frontend", ", ,", true, 0},
+		{"frontend urls", "frontend", "http://a:1,http://b:2", false, 2},
+		{"frontend named", "frontend", "w1=http://a:1, w2=http://b:2 ,self=loopback", false, 3},
+		{"unknown role", "proxy", "", true, 0},
+	}
+	for _, c := range cases {
+		specs, err := parseBackends(c.role, c.list)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: err = %v, wantErr = %v", c.name, err, c.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(specs) != c.wantSpecs {
+			t.Errorf("%s: %d specs, want %d", c.name, len(specs), c.wantSpecs)
+		}
+	}
+
+	specs, err := parseBackends("frontend", "w1=http://a:1,self=loopback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].Name != "w1" || specs[0].URL != "http://a:1" {
+		t.Errorf("named spec = %+v", specs[0])
+	}
+	if specs[1].Name != "self" || specs[1].URL != "" {
+		t.Errorf("loopback spec = %+v, want empty URL", specs[1])
+	}
+}
+
+// TestDaemonClusterRoles runs the full fleet through real processes'
+// worth of daemons in-process: two workers and a frontend sharding
+// across them plus its own loopback shard, checked byte-for-byte
+// against a standalone daemon.
+func TestDaemonClusterRoles(t *testing.T) {
+	w1, stopW1 := startDaemon(t, "-role", "worker")
+	defer stopW1()
+	w2, stopW2 := startDaemon(t, "-role", "worker")
+	defer stopW2()
+	fe, stopFE := startDaemon(t,
+		"-role", "frontend",
+		"-backends", "w1="+w1+",w2="+w2+",self=loopback",
+		"-probe-interval", "100ms")
+	defer stopFE()
+	sa, stopSA := startDaemon(t)
+	defer stopSA()
+
+	post := func(base, path, body string) (int, []byte) {
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	flow := `{"spec":{"name":"clr","sinks":10,"die_x":250,"die_y":250,"seed":4,"cap_min":1e-15,"cap_max":3e-15}}`
+	feStatus, feBody := post(fe, "/v1/flow", flow)
+	if feStatus != http.StatusOK {
+		t.Fatalf("frontend flow = %d: %s", feStatus, feBody)
+	}
+	saStatus, saBody := post(sa, "/v1/flow", flow)
+	if saStatus != http.StatusOK {
+		t.Fatalf("standalone flow = %d: %s", saStatus, saBody)
+	}
+	if !bytes.Equal(feBody, saBody) {
+		t.Errorf("frontend flow differs from standalone:\n%s\n%s", feBody, saBody)
+	}
+
+	batch := `{"requests":[` + flow + `,` + flow + `]}`
+	feStatus, feBody = post(fe, "/v1/batch", batch)
+	if feStatus != http.StatusOK {
+		t.Fatalf("frontend batch = %d: %s", feStatus, feBody)
+	}
+	saStatus, saBody = post(sa, "/v1/batch", batch)
+	if saStatus != http.StatusOK || !bytes.Equal(feBody, saBody) {
+		t.Errorf("frontend batch differs from standalone (%d):\n%s\n%s", saStatus, feBody, saBody)
+	}
+
+	// The frontend's statsz exposes the three shards.
+	resp, err := http.Get(fe + "/v1/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st struct {
+		Shards []struct {
+			Shard    string `json:"shard"`
+			Requests uint64 `json:"requests"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(stBody, &st); err != nil {
+		t.Fatalf("frontend statsz not JSON: %v", err)
+	}
+	if len(st.Shards) != 3 {
+		t.Fatalf("frontend statsz has %d shards, want 3: %s", len(st.Shards), stBody)
+	}
+	total := uint64(0)
+	for _, sh := range st.Shards {
+		total += sh.Requests
+	}
+	if total == 0 {
+		t.Error("no shard recorded any request")
+	}
+
+	// A worker daemon refuses -backends; a frontend without them fails.
+	if err := run([]string{"-role", "worker", "-backends", "http://x"}, io.Discard, nil, nil); err == nil {
+		t.Error("worker accepted -backends")
+	}
+	if err := run([]string{"-role", "frontend"}, io.Discard, nil, nil); err == nil {
+		t.Error("frontend accepted an empty backend list")
+	}
+}

@@ -1,5 +1,5 @@
 // Command smartndrlint runs the repo's static-analysis suite
-// (internal/analysis) over the given packages: six analyzers that
+// (internal/analysis) over the given packages: seven analyzers that
 // enforce the determinism, tracing, telemetry, and units contracts —
 // maporder, seededrand, wallclock, spanhygiene, floatorder,
 // metricname. It exits nonzero

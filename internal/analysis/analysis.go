@@ -1,9 +1,10 @@
-// Package analysis is the repo's static-analysis suite: six custom
-// passes that turn the determinism, tracing, telemetry, and units
-// contracts the engine packages rely on — bit-identical parallel
-// results, leak-free span trees, no wall-clock reads on resumable
-// paths, a statically enumerable metric namespace — into build-time
-// errors instead of code-review folklore.
+// Package analysis is the repo's static-analysis suite: seven custom
+// passes that turn the determinism, tracing, telemetry, units, and
+// resource-hygiene contracts the engine packages rely on —
+// bit-identical parallel results, leak-free span trees, no wall-clock
+// reads on resumable paths, a statically enumerable metric namespace,
+// connection-safe HTTP clients — into build-time errors instead of
+// code-review folklore.
 //
 // The framework deliberately mirrors the golang.org/x/tools/go/analysis
 // shape (Analyzer, Pass, Diagnostic) but is built on the standard
@@ -128,7 +129,7 @@ func buildDirectives(fset *token.FileSet, files []*ast.File) directiveIndex {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Maporder, Seededrand, Wallclock, Spanhygiene, Floatorder, Metricname}
+	return []*Analyzer{Maporder, Seededrand, Wallclock, Spanhygiene, Floatorder, Metricname, Httpbody}
 }
 
 // ByName resolves a comma-separated analyzer subset ("" means all).

@@ -22,6 +22,7 @@ func TestGolden(t *testing.T) {
 		{analysis.Spanhygiene, []string{"spanhygiene/a"}},
 		{analysis.Floatorder, []string{"floatorder/a"}},
 		{analysis.Metricname, []string{"metricname/engine", "metricname/clean"}},
+		{analysis.Httpbody, []string{"httpbody/client"}},
 	}
 	for _, c := range cases {
 		c := c
@@ -63,7 +64,7 @@ func TestAllHaveDocs(t *testing.T) {
 			t.Errorf("analyzer name %q must be a single flag-friendly token", a.Name)
 		}
 	}
-	if len(seen) != 6 {
-		t.Errorf("expected the six suite analyzers, got %d", len(seen))
+	if len(seen) != 7 {
+		t.Errorf("expected the seven suite analyzers, got %d", len(seen))
 	}
 }

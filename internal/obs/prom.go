@@ -21,6 +21,25 @@ type PromSnapshot struct {
 	// <ns>_span_duration_seconds family with a path label, since paths
 	// ('/'-joined) live outside the flat metric namespace.
 	SpanHistograms map[string]HistogramSnapshot
+	// LabeledCounters / LabeledGauges are multi-series families keyed by
+	// registry-convention names (pkg.snake_case); each family renders
+	// one line per series with its label set. They exist for
+	// small-cardinality dimensional series (cache stripes, cluster
+	// shards) that the flat Registry namespace cannot express.
+	LabeledCounters map[string][]LabeledSeries
+	LabeledGauges   map[string][]LabeledSeries
+}
+
+// LabeledSeries is one series of a labeled family: pre-rendered label
+// pairs (build them with PromLabel, comma-joined) plus the value.
+type LabeledSeries struct {
+	Labels string
+	Value  float64
+}
+
+// PromLabel renders one label pair per the exposition grammar.
+func PromLabel(key, value string) string {
+	return key + `="` + promLabelEscape(value) + `"`
 }
 
 // PromSnapshot copies the registry's counters, gauges, and histograms
@@ -55,10 +74,27 @@ func WritePromText(w io.Writer, ns string, snap PromSnapshot) error {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %s\n",
 			fam, name, fam, fam, promFloat(snap.Counters[name]))
 	}
+	for _, name := range sortedLabeledKeys(snap.LabeledCounters) {
+		fam := promName(ns, name)
+		if !strings.HasSuffix(fam, "_total") {
+			fam += "_total"
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", fam, name, fam)
+		for _, series := range sortedSeries(snap.LabeledCounters[name]) {
+			fmt.Fprintf(&b, "%s{%s} %s\n", fam, series.Labels, promFloat(series.Value))
+		}
+	}
 	for _, name := range sortedFloatKeys(snap.Gauges) {
 		fam := promName(ns, name)
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
 			fam, name, fam, fam, promFloat(snap.Gauges[name]))
+	}
+	for _, name := range sortedLabeledKeys(snap.LabeledGauges) {
+		fam := promName(ns, name)
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", fam, name, fam)
+		for _, series := range sortedSeries(snap.LabeledGauges[name]) {
+			fmt.Fprintf(&b, "%s{%s} %s\n", fam, series.Labels, promFloat(series.Value))
+		}
 	}
 	for _, name := range sortedHistKeys(snap.Histograms) {
 		writePromHistogram(&b, promName(ns, name), name, "", snap.Histograms[name])
@@ -155,4 +191,22 @@ func sortedHistKeys(m map[string]HistogramSnapshot) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+func sortedLabeledKeys(m map[string][]LabeledSeries) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedSeries orders a family's series by label set so rendering
+// stays deterministic regardless of how the caller assembled them.
+func sortedSeries(in []LabeledSeries) []LabeledSeries {
+	out := make([]LabeledSeries, len(in))
+	copy(out, in)
+	sort.Slice(out, func(i, j int) bool { return out[i].Labels < out[j].Labels })
+	return out
 }

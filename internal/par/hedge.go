@@ -1,0 +1,100 @@
+package par
+
+import (
+	"context"
+	"time"
+)
+
+// Hedge runs primary and, when it is still running after delay, starts
+// backup concurrently against the same logical request — the classic
+// hedged-request pattern for cutting tail latency: most calls finish
+// before the hedge fires and cost nothing extra; the slow tail gets a
+// second chance on another replica instead of waiting out the
+// straggler.
+//
+// The first branch to succeed wins: its value is returned and the
+// loser's context is canceled so it can abandon the work (its eventual
+// result is discarded via a buffered channel — no goroutine blocks on
+// an unread send). A primary that fails before the hedge timer fires
+// triggers the backup immediately, so Hedge doubles as one-step
+// failover. When both branches fail, the primary's error is returned —
+// deterministic regardless of which branch failed last.
+//
+// delay <= 0 starts the backup immediately (a pure race). A nil backup
+// degenerates to calling primary inline on the caller's goroutine —
+// important for callers that rely on goroutine-local state (e.g. the
+// obs tracer's ambient span stack): single-branch calls never migrate
+// goroutines.
+//
+// The returned bool reports whether the winning value came from the
+// backup branch. Branch functions must honor context cancellation
+// promptly and release any resources (gate slots, connections) on
+// their own way out — Hedge cancels the loser but cannot reclaim what
+// the loser holds.
+func Hedge[T any](ctx context.Context, delay time.Duration,
+	primary, backup func(context.Context) (T, error)) (T, bool, error) {
+
+	var zero T
+	if backup == nil {
+		v, err := primary(ctx)
+		return v, false, err
+	}
+
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // the loser is canceled as soon as the winner returns
+
+	type outcome struct {
+		v      T
+		err    error
+		hedged bool
+	}
+	// Capacity 2: both branches can complete after the caller has
+	// returned without anyone reading — neither goroutine ever blocks.
+	out := make(chan outcome, 2)
+	launch := func(fn func(context.Context) (T, error), hedged bool) {
+		go func() {
+			v, err := fn(hctx)
+			out <- outcome{v: v, err: err, hedged: hedged}
+		}()
+	}
+	launch(primary, false)
+
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	started := 1
+	finished := 0
+	var primaryErr, backupErr error
+	for {
+		select {
+		case <-timer.C:
+			if started == 1 {
+				launch(backup, true)
+				started = 2
+			}
+		case o := <-out:
+			if o.err == nil {
+				return o.v, o.hedged, nil
+			}
+			finished++
+			if o.hedged {
+				backupErr = o.err
+			} else {
+				primaryErr = o.err
+			}
+			if started == 1 {
+				// Fast failover: the primary failed before the hedge
+				// would have fired.
+				launch(backup, true)
+				started = 2
+				continue
+			}
+			if finished == started {
+				if primaryErr != nil {
+					return zero, false, primaryErr
+				}
+				return zero, true, backupErr
+			}
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestHedgeNilBackupRunsPrimaryInline(t *testing.T) {
+	ran := false
+	v, hedged, err := Hedge(context.Background(), time.Hour, func(ctx context.Context) (int, error) {
+		ran = true
+		return 42, nil
+	}, nil)
+	if err != nil || v != 42 || hedged {
+		t.Fatalf("Hedge = (%d, %v, %v), want (42, false, nil)", v, hedged, err)
+	}
+	if !ran {
+		t.Fatal("primary never ran")
+	}
+}
+
+func TestHedgePrimaryWinsBeforeDelay(t *testing.T) {
+	backupStarted := make(chan struct{}, 1)
+	v, hedged, err := Hedge(context.Background(), time.Hour,
+		func(ctx context.Context) (string, error) { return "primary", nil },
+		func(ctx context.Context) (string, error) {
+			backupStarted <- struct{}{}
+			return "backup", nil
+		})
+	if err != nil || v != "primary" || hedged {
+		t.Fatalf("Hedge = (%q, %v, %v), want (primary, false, nil)", v, hedged, err)
+	}
+	select {
+	case <-backupStarted:
+		t.Fatal("backup started although the primary finished before the delay")
+	default:
+	}
+}
+
+func TestHedgeBackupWinsOnStraggler(t *testing.T) {
+	// The primary blocks until its (hedge-scoped) context is canceled —
+	// a straggler that never produces a value on its own. The backup
+	// must win, and the canceled primary must observe the cancellation
+	// and exit.
+	primaryExited := make(chan struct{})
+	v, hedged, err := Hedge(context.Background(), time.Millisecond,
+		func(ctx context.Context) (string, error) {
+			defer close(primaryExited)
+			<-ctx.Done()
+			return "", ctx.Err()
+		},
+		func(ctx context.Context) (string, error) { return "backup", nil })
+	if err != nil || v != "backup" || !hedged {
+		t.Fatalf("Hedge = (%q, %v, %v), want (backup, true, nil)", v, hedged, err)
+	}
+	select {
+	case <-primaryExited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled primary goroutine never exited")
+	}
+}
+
+func TestHedgeFastFailoverOnPrimaryError(t *testing.T) {
+	// A primary that fails before the hedge delay triggers the backup
+	// immediately; the one-hour delay proves the timer was not involved.
+	t0 := time.Now()
+	v, hedged, err := Hedge(context.Background(), time.Hour,
+		func(ctx context.Context) (int, error) { return 0, errors.New("boom") },
+		func(ctx context.Context) (int, error) { return 7, nil })
+	if err != nil || v != 7 || !hedged {
+		t.Fatalf("Hedge = (%d, %v, %v), want (7, true, nil)", v, hedged, err)
+	}
+	if since := time.Since(t0); since > 10*time.Second {
+		t.Fatalf("failover waited %v, want immediate", since)
+	}
+}
+
+func TestHedgeBothFailReturnsPrimaryError(t *testing.T) {
+	primaryErr := errors.New("primary down")
+	backupErr := errors.New("backup down")
+	_, hedged, err := Hedge(context.Background(), 0,
+		func(ctx context.Context) (int, error) {
+			// Let the backup fail first so the test pins the "primary's
+			// error wins regardless of finish order" contract.
+			time.Sleep(10 * time.Millisecond)
+			return 0, primaryErr
+		},
+		func(ctx context.Context) (int, error) { return 0, backupErr })
+	if !errors.Is(err, primaryErr) {
+		t.Fatalf("Hedge error = %v, want the primary's %v", err, primaryErr)
+	}
+	if hedged {
+		t.Fatal("hedged flag set on a failed hedge")
+	}
+}
+
+// TestHedgeCanceledLoserReleasesGateSlot is the leak test for the
+// cluster's hedged-call shape: each branch acquires a slot from a
+// bounded gate and blocks a canceled straggler on its context, exactly
+// like a backend transport call. After the winner returns, the
+// canceled loser must release its slot and its goroutine must exit —
+// synchronized on channels, not sleeps, so -race sees every handoff.
+func TestHedgeCanceledLoserReleasesGateSlot(t *testing.T) {
+	gate := NewGate(2, 2)
+	primaryExited := make(chan struct{})
+
+	primary := func(ctx context.Context) (string, error) {
+		// LIFO defers: release runs first, then the exit signal — so a
+		// received signal proves the slot is already back.
+		defer close(primaryExited)
+		release, err := gate.Acquire(ctx)
+		if err != nil {
+			return "", err
+		}
+		defer release()
+		<-ctx.Done()
+		return "", ctx.Err()
+	}
+	backup := func(ctx context.Context) (string, error) {
+		release, err := gate.Acquire(ctx)
+		if err != nil {
+			return "", err
+		}
+		defer release()
+		return "backup", nil
+	}
+
+	v, hedged, err := Hedge(context.Background(), time.Millisecond, primary, backup)
+	if err != nil || v != "backup" || !hedged {
+		t.Fatalf("Hedge = (%q, %v, %v), want (backup, true, nil)", v, hedged, err)
+	}
+	select {
+	case <-primaryExited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled primary still holds its gate slot after 5s")
+	}
+	if held := gate.Held(); held != 0 {
+		t.Fatalf("gate holds %d slots after both branches exited, want 0", held)
+	}
+	if waiting := gate.Waiting(); waiting != 0 {
+		t.Fatalf("gate has %d waiters after both branches exited, want 0", waiting)
+	}
+
+	// The gate must be fully reusable: both slots acquirable without
+	// blocking proves no slot leaked to the canceled branch.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		release, err := gate.Acquire(ctx)
+		if err != nil {
+			t.Fatalf("slot %d not reacquirable after hedge: %v", i, err)
+		}
+		defer release()
+	}
+}
+
+func TestHedgeCallerContextCancelStopsBothBranches(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	bothStarted := make(chan struct{}, 2)
+	bothExited := make(chan struct{}, 2)
+	branch := func(ctx context.Context) (int, error) {
+		bothStarted <- struct{}{}
+		defer func() { bothExited <- struct{}{} }()
+		<-ctx.Done()
+		return 0, ctx.Err()
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := Hedge(ctx, 0, branch, branch)
+		done <- err
+	}()
+	<-bothStarted
+	<-bothStarted
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Hedge error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Hedge did not return after caller cancellation")
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-bothExited:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("branch %d never exited after cancellation", i)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"smartndr/internal/obs"
+	"smartndr/internal/par"
+)
+
+// maxBatchItems bounds one batch's item count. At 256 items × 64-arm
+// sweeps' worth of flow work the envelope already amortizes round
+// trips thoroughly; beyond it, paginate.
+const maxBatchItems = 256
+
+// BatchRequest is the wire form of POST /v1/batch: many flow requests,
+// one round trip, index-ordered results. Heavy clients (benchmark
+// sweeps across corners, Pareto explorations) use it to amortize
+// connection and scheduling overhead; each item still flows through
+// the content-addressed cache individually, so a batch mixing warm and
+// cold work pays only for the cold part.
+type BatchRequest struct {
+	Requests []FlowRequest `json:"requests"`
+	// Workers bounds item fan-out; 0 runs all items concurrently
+	// (admission still bounds actual engine concurrency). Results are
+	// identical at any value.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS caps the whole batch's deadline. Per-item timeout_ms is
+	// rejected — items share the batch deadline.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// BatchItemResult is one item's outcome, at the same index as its
+// request. Status is the HTTP status the item would have received as a
+// standalone /v1/flow call; Flow carries the exact bytes a standalone
+// call would have returned (so batch responses are byte-stable too).
+type BatchItemResult struct {
+	Status int             `json:"status"`
+	Flow   json.RawMessage `json:"flow,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// BatchResponse is the /v1/batch result body. The envelope itself is
+// not cached — items are, individually — but it is a pure function of
+// the item results, so identical batches on idle servers render
+// identical bytes.
+type BatchResponse struct {
+	Key     string            `json:"key"`
+	Results []BatchItemResult `json:"results"`
+}
+
+// DecodeBatchRequest parses and validates a /v1/batch body.
+func DecodeBatchRequest(data []byte) (*BatchRequest, error) {
+	var req BatchRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return nil, err
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// Validate checks the batch envelope and every item.
+func (r *BatchRequest) Validate() error {
+	if len(r.Requests) == 0 {
+		return fmt.Errorf("serve: batch with no requests")
+	}
+	if len(r.Requests) > maxBatchItems {
+		return fmt.Errorf("serve: %d requests exceeds the %d-item batch limit", len(r.Requests), maxBatchItems)
+	}
+	if r.Workers < 0 {
+		return fmt.Errorf("serve: negative workers %d", r.Workers)
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("serve: negative timeout_ms %d", r.TimeoutMS)
+	}
+	for i := range r.Requests {
+		it := &r.Requests[i]
+		if it.TimeoutMS != 0 {
+			return fmt.Errorf("serve: batch item %d: per-item timeout_ms is not allowed; set the batch timeout_ms", i)
+		}
+		if err := it.Validate(); err != nil {
+			return fmt.Errorf("serve: batch item %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// batchKeyVersion is folded into every batch key.
+const batchKeyVersion = "smartndr/batch/v1"
+
+// batchKey derives the envelope key from the item keys, in order. Two
+// batches over the same items in the same order share a key; it names
+// the batch in spans and the X-Key header but is not a cache address.
+func batchKey(keys []string) string {
+	h := sha256.New()
+	io.WriteString(h, batchKeyVersion)
+	for _, k := range keys {
+		io.WriteString(h, "|")
+		io.WriteString(h, k)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// handleBatch serves POST /v1/batch. The envelope succeeds (200) once
+// it decodes and every key resolves; individual items carry their own
+// status, so one failing item does not poison its siblings. Each item
+// runs exactly the standalone /v1/flow path — same cache, same
+// admission gate per cold item, same runner — which is what makes item
+// bytes identical to standalone responses.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	t0 := s.now()
+	var (
+		reqID   int64
+		status  int
+		key     string
+		outcome string
+		col     *obs.Collector
+	)
+	defer func() {
+		d := s.now().Sub(t0)
+		class := latencyClass(status, outcome)
+		if h := s.lat[epBatch][class]; h != nil {
+			h.Observe(d.Seconds())
+		}
+		if s.tracez != nil {
+			var evs []obs.SpanEvent
+			if col != nil {
+				evs = col.Events()
+			}
+			s.tracez.Add(TraceRecord{
+				Req: reqID, Endpoint: epBatch, Key: key, Outcome: class,
+				Cache: outcome, Status: status, DurNS: d.Nanoseconds(),
+				Spans: buildSpanTree(evs),
+			})
+		}
+	}()
+
+	if r.Method != http.MethodPost {
+		status = http.StatusMethodNotAllowed
+		s.writeError(w, nil, status, fmt.Errorf("serve: %s needs POST", r.URL.Path))
+		return
+	}
+	if !s.admit() {
+		status = http.StatusServiceUnavailable
+		s.refuse(w, nil, status, "draining")
+		return
+	}
+	defer s.depart()
+	s.reg.Add("serve.requests", 1)
+
+	reqID = s.reqID.Add(1)
+	rtr := s.tr.Scoped()
+	if s.tracez != nil && s.tr.Enabled() {
+		col = obs.NewCollector()
+		rtr = s.tr.ScopedTee(col)
+	}
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+			s.writeError(w, nil, status,
+				fmt.Errorf("serve: request body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		status = http.StatusBadRequest
+		s.writeError(w, nil, status, fmt.Errorf("serve: reading body: %w", err))
+		return
+	}
+	req, err := DecodeBatchRequest(body)
+	if err != nil {
+		status = http.StatusBadRequest
+		s.writeError(w, nil, status, err)
+		return
+	}
+	n := len(req.Requests)
+	sp := rtr.Start("serve.batch", obs.I("req", int(reqID)), obs.I("items", n))
+	defer sp.End()
+
+	keys := make([]string, n)
+	for i := range req.Requests {
+		keys[i], err = s.runner.FlowKey(&req.Requests[i])
+		if err != nil {
+			status = http.StatusBadRequest
+			s.writeError(w, sp, status, fmt.Errorf("serve: batch item %d: %w", i, err))
+			return
+		}
+	}
+	key = batchKey(keys)
+	sp.Set("key", key)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.resolveTimeout(req.TimeoutMS))
+	defer cancel()
+
+	workers := req.Workers
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	results := make([]BatchItemResult, n)
+	outcomes := make([]string, n)
+	// fn never returns an error: item failures land in the item's
+	// result so siblings keep running.
+	_ = par.ForEach(ctx, workers, n, func(i int) error {
+		item := &req.Requests[i]
+		bytesOut, oc, err := s.cache.Do(ctx, keys[i], func() ([]byte, error) {
+			release, err := s.gate.Acquire(ctx)
+			if err != nil {
+				return nil, err
+			}
+			defer release()
+			out, err := s.runner.RunFlow(ctx, item, rtr)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(out)
+		})
+		outcomes[i] = oc
+		if err != nil {
+			results[i] = BatchItemResult{Status: s.batchItemStatus(err), Error: err.Error()}
+			return nil
+		}
+		results[i] = BatchItemResult{Status: http.StatusOK, Flow: bytesOut}
+		return nil
+	})
+
+	outcome = CacheMiss
+	allHit := true
+	for i := range results {
+		if results[i].Status != http.StatusOK ||
+			(outcomes[i] != CacheHit && outcomes[i] != CacheShared) {
+			allHit = false
+			break
+		}
+	}
+	if allHit {
+		outcome = CacheHit
+	}
+	status = http.StatusOK
+	sp.Set("cache", outcome)
+	sp.Set("status", status)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", outcome)
+	w.Header().Set("X-Key", key)
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(BatchResponse{Key: key, Results: results})
+}
+
+// batchItemStatus maps an item failure onto the status a standalone
+// /v1/flow call would have returned, tallying the same counters.
+func (s *Server) batchItemStatus(err error) int {
+	switch {
+	case errors.Is(err, par.ErrSaturated):
+		s.reg.Add("serve.saturated", 1)
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		s.reg.Add("serve.timeouts", 1)
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		s.reg.Add("serve.errors", 1)
+		return http.StatusServiceUnavailable
+	default:
+		s.reg.Add("serve.errors", 1)
+		return http.StatusInternalServerError
+	}
+}

@@ -46,6 +46,59 @@ func FuzzDecodeFlowRequest(f *testing.F) {
 	})
 }
 
+// FuzzDecodeBatchRequest hammers the /v1/batch decoder. Accepted
+// batches must hold the wire contract (lossless round trip) plus the
+// batch-specific invariants: a non-empty item list within the cap, no
+// per-item deadlines, and a content address per item so the handler
+// can always route and cache.
+func FuzzDecodeBatchRequest(f *testing.F) {
+	f.Add([]byte(`{"requests":[{"bench":"cns01"}]}`))
+	f.Add([]byte(`{"requests":[{"bench":"cns01"},{"bench":"cns02","scheme":"blanket-ndr","top_k":3}],"workers":4,"timeout_ms":2000}`))
+	f.Add([]byte(`{"requests":[{"spec":{"name":"x","sinks":16,"die_x":400,"die_y":400,"seed":5,"cap_min":1e-15,"cap_max":3e-15}}]}`))
+	f.Add([]byte(`{"requests":[]}`))
+	f.Add([]byte(`{"requests":[{"bench":"cns01","timeout_ms":50}]}`))
+	f.Add([]byte(`{"requests":[{"bench":"cns01"}],"workers":-2}`))
+	f.Add([]byte(`{"requests":[{"bench":"cns01"}],"bogus":true}`))
+	f.Add([]byte(`not a batch`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeBatchRequest(data)
+		if err != nil {
+			return
+		}
+		if len(req.Requests) == 0 || len(req.Requests) > maxBatchItems {
+			t.Fatalf("accepted batch with %d items (cap %d)", len(req.Requests), maxBatchItems)
+		}
+		if req.Workers < 0 || req.TimeoutMS < 0 {
+			t.Fatalf("accepted negative knobs: workers=%d timeout_ms=%d", req.Workers, req.TimeoutMS)
+		}
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-encode: %v", err)
+		}
+		req2, err := DecodeBatchRequest(out)
+		if err != nil {
+			t.Fatalf("re-encoded batch rejected: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(req, req2) {
+			t.Fatalf("lossy round trip:\n%+v\n%+v", req, req2)
+		}
+		fr := &FlowRunner{}
+		for i := range req.Requests {
+			if req.Requests[i].TimeoutMS != 0 {
+				t.Fatalf("accepted batch item %d with a per-item deadline", i)
+			}
+			k1, err := fr.FlowKey(&req.Requests[i])
+			if err != nil {
+				t.Fatalf("accepted batch item %d has no content address: %v", i, err)
+			}
+			k2, err := fr.FlowKey(&req2.Requests[i])
+			if err != nil || k1 != k2 {
+				t.Fatalf("item %d content address unstable: %q vs %q (%v)", i, k1, k2, err)
+			}
+		}
+	})
+}
+
 // FuzzDecodeSweepRequest is FuzzDecodeFlowRequest for the sweep wire
 // form, including the arm list.
 func FuzzDecodeSweepRequest(f *testing.F) {

@@ -3,10 +3,11 @@
 // across requests instead of paying full synthesis cost per CLI
 // invocation.
 //
-// Four endpoints:
+// The endpoints:
 //
 //	POST /v1/flow    run one benchmark through one scheme → metrics
 //	POST /v1/sweep   scheme×corner arm batch against one shared tree
+//	POST /v1/batch   many flow requests, one round trip, index-ordered
 //	GET  /v1/healthz liveness (503 while draining)
 //	GET  /v1/statsz  counters, cache and admission state, uptime
 //
@@ -107,6 +108,7 @@ const (
 const (
 	epFlow  = "flow"
 	epSweep = "sweep"
+	epBatch = "batch"
 )
 
 // Server is the flow service. Create with New, expose via Handler, and
@@ -199,10 +201,17 @@ func New(cfg Config) *Server {
 			latRefused: reg.Histogram("serve.sweep_refused_seconds"),
 			latError:   reg.Histogram("serve.sweep_error_seconds"),
 		},
+		epBatch: {
+			latCold:    reg.Histogram("serve.batch_cold_seconds"),
+			latHit:     reg.Histogram("serve.batch_hit_seconds"),
+			latRefused: reg.Histogram("serve.batch_refused_seconds"),
+			latError:   reg.Histogram("serve.batch_error_seconds"),
+		},
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/flow", s.handleFlow)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/statsz", s.handleStatsz)
 	s.mux.HandleFunc("/v1/tracez", s.handleTracez)
@@ -482,13 +491,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // Statsz is the /v1/statsz body: a point-in-time operational snapshot.
 type Statsz struct {
-	UptimeMS int64                     `json:"uptime_ms"`
-	Draining bool                      `json:"draining"`
-	InFlight int                       `json:"in_flight"`
-	Waiting  int                       `json:"waiting"`
-	Slots    int                       `json:"slots"`
-	CacheLen int                       `json:"cache_len"`
-	CacheCap int                       `json:"cache_cap"`
+	UptimeMS int64 `json:"uptime_ms"`
+	Draining bool  `json:"draining"`
+	InFlight int   `json:"in_flight"`
+	Waiting  int   `json:"waiting"`
+	Slots    int   `json:"slots"`
+	CacheLen int   `json:"cache_len"`
+	CacheCap int   `json:"cache_cap"`
+	// CacheShards is the per-stripe occupancy and hit/miss/eviction
+	// view of the result cache; CacheBalance is the fullest stripe
+	// over the mean (1.0 = even).
+	CacheShards  []CacheShardStat `json:"cache_shards,omitempty"`
+	CacheBalance float64          `json:"cache_balance,omitempty"`
+	// Shards is the cluster backend view, present when the runner
+	// routes across a fleet (see ShardStatser).
+	Shards   []ShardStat               `json:"shards,omitempty"`
 	Counters map[string]float64        `json:"counters,omitempty"`
 	Latency  map[string]LatencySummary `json:"latency,omitempty"`
 }
@@ -534,16 +551,24 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, nil, http.StatusMethodNotAllowed, fmt.Errorf("serve: statsz needs GET"))
 		return
 	}
+	// Refresh the balance gauge on read so scrapes of /v1/statsz and
+	// /metricsz agree on the same definition.
+	s.reg.Set("serve.cache_shard_balance", s.cache.Balance())
 	st := Statsz{
-		UptimeMS: s.now().Sub(s.start).Milliseconds(),
-		Draining: s.Draining(),
-		InFlight: s.gate.Held(),
-		Waiting:  s.gate.Waiting(),
-		Slots:    s.gate.Slots(),
-		CacheLen: s.cache.Len(),
-		CacheCap: s.cache.Cap(),
-		Counters: s.reg.Snapshot(),
-		Latency:  s.latencySummaries(),
+		UptimeMS:     s.now().Sub(s.start).Milliseconds(),
+		Draining:     s.Draining(),
+		InFlight:     s.gate.Held(),
+		Waiting:      s.gate.Waiting(),
+		Slots:        s.gate.Slots(),
+		CacheLen:     s.cache.Len(),
+		CacheCap:     s.cache.Cap(),
+		CacheShards:  s.cache.ShardStats(),
+		CacheBalance: s.cache.Balance(),
+		Counters:     s.reg.Snapshot(),
+		Latency:      s.latencySummaries(),
+	}
+	if ss, ok := s.runner.(ShardStatser); ok {
+		st.Shards = ss.ShardStats()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(st)
@@ -569,12 +594,44 @@ func (s *Server) writeError(w http.ResponseWriter, sp *obs.Span, status int, err
 	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
 }
 
-// retryAfterSeconds renders the hint as whole seconds, rounding up —
-// Retry-After's wire grammar has no sub-second form.
+// retryAfterSeconds renders the Retry-After hint. A refused client
+// should come back when a slot has likely opened, and a slot opens
+// when a cold run finishes — so the hint tracks the recent cold p95
+// rather than a static guess: a service running 100 ms flows tells
+// clients "1", one grinding through 40 s hierarchical builds tells
+// them "40". Before any cold run has completed, the configured
+// RetryAfter is used. Whole seconds, rounded up, min 1 — Retry-After's
+// wire grammar has no sub-second form.
 func (s *Server) retryAfterSeconds() string {
-	secs := int((s.retryAfter + time.Second - 1) / time.Second)
+	d := s.retryAfter
+	if p95 := s.coldP95(); p95 > 0 {
+		d = time.Duration(p95 * float64(time.Second))
+	}
+	secs := int((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
 	return strconv.Itoa(secs)
+}
+
+// coldP95 returns the slowest cold-class p95 across endpoints, in
+// seconds (0 when no cold request has finished). Taking the max keeps
+// the hint honest for mixed workloads: backing off long enough for the
+// slowest endpoint never thrashes the fast one.
+func (s *Server) coldP95() float64 {
+	best := 0.0
+	for _, classes := range s.lat { //lint:commutative max is order-independent
+		h := classes[latCold]
+		if h == nil {
+			continue
+		}
+		snap := h.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		if q := snap.Quantile(0.95); q > best {
+			best = q
+		}
+	}
+	return best
 }

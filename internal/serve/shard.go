@@ -1,0 +1,27 @@
+package serve
+
+// ShardStat is one backend shard's frontend-side view: request and
+// error volume, hedge activity, the remote cache outcome split, current
+// in-flight calls, and the recent latency p95 driving the hedge timer.
+// Runners that route across a fleet (internal/cluster) report one per
+// backend; /v1/statsz embeds the list and /metricsz renders it as
+// labeled per-shard series.
+type ShardStat struct {
+	Shard        string  `json:"shard"`
+	Healthy      bool    `json:"healthy"`
+	Requests     uint64  `json:"requests"`
+	Errors       uint64  `json:"errors"`
+	Hedges       uint64  `json:"hedges"`
+	HedgeWins    uint64  `json:"hedge_wins"`
+	RemoteHits   uint64  `json:"remote_hits"`
+	RemoteMisses uint64  `json:"remote_misses"`
+	InFlight     int     `json:"in_flight"`
+	P95MS        float64 `json:"p95_ms"`
+}
+
+// ShardStatser is the optional Runner extension for sharded routing:
+// when the configured Runner implements it, the server exports the
+// per-shard view alongside its own stats.
+type ShardStatser interface {
+	ShardStats() []ShardStat
+}

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"smartndr/internal/obs"
+)
+
+func TestCacheStripesAboveThreshold(t *testing.T) {
+	reg := &obs.Registry{}
+	small := NewCache(shardThreshold-1, reg)
+	if got := small.Shards(); got != 1 {
+		t.Errorf("cap %d uses %d stripes, want 1 (exact global LRU below the threshold)", shardThreshold-1, got)
+	}
+	big := NewCache(shardThreshold, reg)
+	if got := big.Shards(); got != cacheShardCount {
+		t.Errorf("cap %d uses %d stripes, want %d", shardThreshold, got, cacheShardCount)
+	}
+}
+
+func TestCacheShardStatsAccount(t *testing.T) {
+	reg := &obs.Registry{}
+	c := NewCache(256, reg)
+	ctx := context.Background()
+	load := func(v string) func() ([]byte, error) {
+		return func() ([]byte, error) { return []byte(v), nil }
+	}
+	const keys = 40
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if _, oc, err := c.Do(ctx, k, load(k)); err != nil || oc != CacheMiss {
+			t.Fatalf("cold Do(%s) = %q, %v", k, oc, err)
+		}
+		if _, oc, err := c.Do(ctx, k, load(k)); err != nil || oc != CacheHit {
+			t.Fatalf("warm Do(%s) = %q, %v", k, oc, err)
+		}
+	}
+	stats := c.ShardStats()
+	if len(stats) != cacheShardCount {
+		t.Fatalf("ShardStats len = %d, want %d", len(stats), cacheShardCount)
+	}
+	var lenSum int
+	var hits, misses uint64
+	striped := 0
+	for i, st := range stats {
+		if st.Shard != i {
+			t.Errorf("stats[%d].Shard = %d", i, st.Shard)
+		}
+		lenSum += st.Len
+		hits += st.Hits
+		misses += st.Misses
+		if st.Len > 0 {
+			striped++
+		}
+	}
+	if lenSum != c.Len() || lenSum != keys {
+		t.Errorf("stripe lens sum to %d, want Len() = %d = %d", lenSum, c.Len(), keys)
+	}
+	if hits != keys || misses != keys {
+		t.Errorf("per-stripe tallies hits=%d misses=%d, want %d each", hits, misses, keys)
+	}
+	if striped < 2 {
+		t.Errorf("all %d keys landed in one stripe; the hash is not spreading", keys)
+	}
+	if b := c.Balance(); b < 1.0 {
+		t.Errorf("Balance() = %v, want >= 1 when occupied (max/mean)", b)
+	}
+}
+
+func TestCacheBalanceEmpty(t *testing.T) {
+	c := NewCache(256, &obs.Registry{})
+	if b := c.Balance(); b != 0 {
+		t.Errorf("empty cache Balance() = %v, want 0", b)
+	}
+}
+
+// shardStatsRunner makes a stub runner double as a serve.ShardStatser,
+// standing in for the cluster runner without an import cycle.
+type shardStatsRunner struct {
+	*stubRunner
+	stats []ShardStat
+}
+
+func (r *shardStatsRunner) ShardStats() []ShardStat { return r.stats }
+
+func TestStatszAndMetricszExposeShards(t *testing.T) {
+	runner := &shardStatsRunner{stubRunner: newStubRunner(), stats: []ShardStat{
+		{Shard: "w0", Healthy: true, Requests: 12, Hedges: 3, HedgeWins: 2, RemoteHits: 5, RemoteMisses: 7, P95MS: 41.5},
+		{Shard: "w1", Healthy: false, Requests: 4, Errors: 4},
+	}}
+	ts := httptest.NewServer(New(Config{Runner: runner, CacheEntries: 256}).Handler())
+	defer ts.Close()
+
+	// Prime the cache stripes so per-shard cache series are non-trivial.
+	resp := postFlow(t, ts, `{"bench":"cns01"}`)
+	readBody(t, resp)
+	resp = postFlow(t, ts, `{"bench":"cns01"}`)
+	readBody(t, resp)
+
+	// /v1/statsz carries both shard views.
+	stResp, err := http.Get(ts.URL + "/v1/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stBody := readBody(t, stResp)
+	var st struct {
+		CacheShards  []CacheShardStat `json:"cache_shards"`
+		CacheBalance float64          `json:"cache_balance"`
+		Shards       []ShardStat      `json:"shards"`
+	}
+	if err := json.Unmarshal(stBody, &st); err != nil {
+		t.Fatalf("statsz not JSON: %v", err)
+	}
+	if len(st.CacheShards) != cacheShardCount {
+		t.Errorf("statsz cache_shards len = %d, want %d", len(st.CacheShards), cacheShardCount)
+	}
+	var hits uint64
+	for _, cs := range st.CacheShards {
+		hits += cs.Hits
+	}
+	if hits != 1 {
+		t.Errorf("statsz cache_shards hits = %d, want 1", hits)
+	}
+	if st.CacheBalance <= 0 {
+		t.Errorf("statsz cache_balance = %v, want > 0 with a resident entry", st.CacheBalance)
+	}
+	if len(st.Shards) != 2 || st.Shards[0].Shard != "w0" || st.Shards[1].Healthy {
+		t.Errorf("statsz shards = %+v, want the runner's two shards verbatim", st.Shards)
+	}
+	if st.Shards[0].P95MS != 41.5 || st.Shards[0].HedgeWins != 2 {
+		t.Errorf("statsz shard w0 = %+v", st.Shards[0])
+	}
+
+	// /metricsz renders the same views as labeled series.
+	mResp, err := http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mResp.Body.Close()
+	expoBytes, err := io.ReadAll(mResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo := string(expoBytes)
+	for _, want := range []string{
+		`smartndr_serve_cache_shard_hits_total{shard="`,
+		`smartndr_serve_cache_shard_len{shard="`,
+		"smartndr_serve_cache_shard_balance ",
+		`smartndr_cluster_shard_requests_total{shard="w0"} 12`,
+		`smartndr_cluster_shard_hedge_wins_total{shard="w0"} 2`,
+		`smartndr_cluster_shard_healthy{shard="w0"} 1`,
+		`smartndr_cluster_shard_healthy{shard="w1"} 0`,
+		`smartndr_cluster_shard_p95_seconds{shard="w0"} 0.0415`,
+	} {
+		if !strings.Contains(expo, want) {
+			t.Errorf("metricsz missing %q", want)
+		}
+	}
+	// Labeled families keep series sorted for deterministic scrapes.
+	if i0, i1 := strings.Index(expo, `shard_requests_total{shard="w0"}`),
+		strings.Index(expo, `shard_requests_total{shard="w1"}`); i0 == -1 || i1 == -1 || i0 > i1 {
+		t.Errorf("labeled series out of order or missing: w0@%d w1@%d", i0, i1)
+	}
+}
+
+func TestStatszOmitsShardsForPlainRunner(t *testing.T) {
+	ts := httptest.NewServer(New(Config{Runner: newStubRunner()}).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["shards"]; ok {
+		t.Errorf("statsz exposes shards for a non-cluster runner: %s", raw["shards"])
+	}
+}
