@@ -276,6 +276,12 @@ func parseBackends(role, list string) ([]cluster.BackendSpec, error) {
 			if spec.Name == "" {
 				spec.Name = "loopback"
 			}
+		} else if !strings.HasPrefix(spec.URL, "http://") && !strings.HasPrefix(spec.URL, "https://") {
+			// Catch misconfiguration at startup, not as a permanently
+			// flapping shard at serve time: a bare token like "self" would
+			// otherwise become an HTTP backend with a scheme-less base URL
+			// that fails every call.
+			return nil, fmt.Errorf("backend %q: URL %q is not absolute (want http(s)://host:port, or \"loopback\")", entry, spec.URL)
 		}
 		specs = append(specs, spec)
 	}

@@ -210,6 +210,9 @@ func TestParseBackends(t *testing.T) {
 		{"frontend empty entries", "frontend", ", ,", true, 0},
 		{"frontend urls", "frontend", "http://a:1,http://b:2", false, 2},
 		{"frontend named", "frontend", "w1=http://a:1, w2=http://b:2 ,self=loopback", false, 3},
+		{"frontend https", "frontend", "w1=https://a:1,self=loopback", false, 2},
+		{"bare token is not loopback", "frontend", "self,w1=http://a:1", true, 0},
+		{"scheme-less url", "frontend", "w1=a:1", true, 0},
 		{"unknown role", "proxy", "", true, 0},
 	}
 	for _, c := range cases {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"smartndr/internal/obs"
+	"smartndr/internal/par"
 	"smartndr/internal/serve"
 )
 
@@ -70,30 +72,35 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("cluster: backend status %d: %s", e.Code, e.Msg)
 }
 
-// retryable reports whether err should mark the backend unhealthy and
-// move the call to another replica: transport-level failures and
-// refusal/overload statuses, but never request errors (a 400 will fail
-// identically everywhere) and never the caller's own context ending.
+// retryable reports whether err should move the call to another
+// replica: transport-level failures, refusal/overload statuses, and
+// frontend-side gate saturation — but never request errors (a 400 will
+// fail identically everywhere) and never cancellation. errors.Is is
+// essential here: http.Client.Do wraps a canceled context in
+// *url.Error, and par.Hedge cancels the losing branch on every hedge
+// win, so a bare == would let wrapped cancels fall into the network
+// catch-all.
 func retryable(err error) bool {
-	if err == nil || err == context.Canceled || err == context.DeadlineExceeded {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}
 	var se *StatusError
-	if asStatusError(err, &se) {
+	if errors.As(err, &se) {
 		return se.Code == http.StatusTooManyRequests || se.Code >= 500
 	}
-	// URL/network errors from the HTTP client land here.
+	// URL/network errors from the HTTP client land here, as does
+	// par.ErrSaturated from the frontend's own admission gate.
 	return true
 }
 
-// asStatusError is errors.As for *StatusError without importing errors
-// into the hot path signature (the chain depth here is 1).
-func asStatusError(err error, target **StatusError) bool {
-	se, ok := err.(*StatusError)
-	if ok {
-		*target = se
-	}
-	return ok
+// marksDown reports whether a retryable err is also a health signal
+// that should take the backend out of rotation. par.ErrSaturated is
+// excluded: it comes from the frontend's own per-backend gate, not the
+// wire, so a momentarily full local queue says nothing about the
+// shard's health — cooling the owner down would move its whole key arc
+// off-owner and trigger duplicate cold runs.
+func marksDown(err error) bool {
+	return retryable(err) && !errors.Is(err, par.ErrSaturated)
 }
 
 // HTTPTransport reaches one worker's smartndrd over its HTTP API.

@@ -301,6 +301,7 @@ func exec[T any](r *Runner, ctx context.Context, b int,
 	release, err := be.gate.Acquire(ctx)
 	if err != nil {
 		be.errors.Add(1)
+		r.reg.Add("cluster.errors", 1)
 		return zero, err
 	}
 	defer release()
@@ -308,7 +309,6 @@ func exec[T any](r *Runner, ctx context.Context, b int,
 	r.reg.Add("cluster.requests", 1)
 	t0 := r.now()
 	out, meta, err := call(ctx, be.tr)
-	be.window.Observe(r.now().Sub(t0).Seconds())
 	switch meta.Cache {
 	case serve.CacheHit, serve.CacheShared:
 		be.remoteHits.Add(1)
@@ -320,11 +320,16 @@ func exec[T any](r *Runner, ctx context.Context, b int,
 	if err != nil {
 		be.errors.Add(1)
 		r.reg.Add("cluster.errors", 1)
-		if retryable(err) {
+		if marksDown(err) {
 			r.markDown(be)
 		}
 		return zero, err
 	}
+	// Only successful calls feed the hedge-timing window: canceled
+	// hedge losers would record ~hedge-delay samples and fast failures
+	// near-zero ones, dragging the adaptive p95 into a feedback loop of
+	// ever more aggressive hedging.
+	be.window.Observe(r.now().Sub(t0).Seconds())
 	return out, nil
 }
 
@@ -410,12 +415,13 @@ func (r *Runner) RunFlow(ctx context.Context, req *serve.FlowRequest, tr *obs.Tr
 		r.reg.Add("cluster.requests", 1)
 		t0 := r.now()
 		out, _, err := be.tr.Flow(ctx, req, tr)
-		be.window.Observe(r.now().Sub(t0).Seconds())
 		if err != nil {
 			be.errors.Add(1)
 			r.reg.Add("cluster.errors", 1)
+			return nil, err
 		}
-		return out, err
+		be.window.Observe(r.now().Sub(t0).Seconds())
+		return out, nil
 	}
 	key, err := r.local.FlowKey(req)
 	if err != nil {
@@ -442,12 +448,13 @@ func (r *Runner) RunSweep(ctx context.Context, req *serve.SweepRequest, tr *obs.
 		r.reg.Add("cluster.requests", 1)
 		t0 := r.now()
 		out, _, err := be.tr.Sweep(ctx, req, tr)
-		be.window.Observe(r.now().Sub(t0).Seconds())
 		if err != nil {
 			be.errors.Add(1)
 			r.reg.Add("cluster.errors", 1)
+			return nil, err
 		}
-		return out, err
+		be.window.Observe(r.now().Sub(t0).Seconds())
+		return out, nil
 	}
 	key, err := r.local.SweepKey(req)
 	if err != nil {
@@ -459,9 +466,15 @@ func (r *Runner) RunSweep(ctx context.Context, req *serve.SweepRequest, tr *obs.
 
 	results := make([]serve.SweepArmResult, n)
 	envs := make([]*serve.SweepResponse, n)
-	// One goroutine per arm: n is bounded by the serve layer's arm
-	// limit, and real concurrency is bounded by the per-backend gates.
-	err = par.ForEach(ctx, n, n, func(i int) error {
+	// One goroutine per arm by default: n is bounded by the serve
+	// layer's arm limit, and real concurrency is bounded by the
+	// per-backend gates. A client-requested Workers bound still caps
+	// the fan-out, matching single-node semantics.
+	workers := n
+	if req.Workers > 0 && req.Workers < workers {
+		workers = req.Workers
+	}
+	err = par.ForEach(ctx, workers, n, func(i int) error {
 		armReq := singleArm(req, i)
 		armKey, err := r.local.SweepKey(armReq)
 		if err != nil {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/url"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	"smartndr/internal/obs"
+	"smartndr/internal/par"
 	"smartndr/internal/serve"
 )
 
@@ -47,11 +50,13 @@ type stubTransport struct {
 	delay time.Duration
 	cache string
 
-	mu     sync.Mutex
-	fail   error
-	down   bool // Check fails
-	flows  []string
-	sweeps []string
+	mu          sync.Mutex
+	fail        error
+	down        bool // Check fails
+	flows       []string
+	sweeps      []string
+	inflight    int
+	maxInflight int
 }
 
 func (s *stubTransport) setFail(err error) {
@@ -115,7 +120,16 @@ func (s *stubTransport) Sweep(ctx context.Context, req *serve.SweepRequest, _ *o
 		s.sweeps = append(s.sweeps, a.Scheme+":"+a.Corner)
 	}
 	fail := s.fail
+	s.inflight++
+	if s.inflight > s.maxInflight {
+		s.maxInflight = s.inflight
+	}
 	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.inflight--
+		s.mu.Unlock()
+	}()
 	for range req.Arms {
 		if err := s.wait(ctx); err != nil {
 			return nil, Meta{}, err
@@ -551,6 +565,187 @@ func TestClusterHedgingCutsTailLatency(t *testing.T) {
 	for _, st := range plain.ShardStats() {
 		if st.Hedges != 0 {
 			t.Errorf("DisableHedge runner recorded %d hedges on %s", st.Hedges, st.Shard)
+		}
+	}
+}
+
+// --- error classification and health-signal regressions ---
+
+// wrapErrTransport mimics the real HTTP client's error surface: every
+// transport error comes back wrapped in *url.Error, which is how
+// http.Client.Do reports a canceled request. The raw-error stubs above
+// are exactly how an ==-based cancellation check slips past tests.
+type wrapErrTransport struct{ inner Transport }
+
+func (w wrapErrTransport) Flow(ctx context.Context, req *serve.FlowRequest, tr *obs.Tracer) (*serve.FlowResponse, Meta, error) {
+	resp, m, err := w.inner.Flow(ctx, req, tr)
+	if err != nil {
+		err = &url.Error{Op: "Post", URL: "http://stub/v1/flow", Err: err}
+	}
+	return resp, m, err
+}
+
+func (w wrapErrTransport) Sweep(ctx context.Context, req *serve.SweepRequest, tr *obs.Tracer) (*serve.SweepResponse, Meta, error) {
+	resp, m, err := w.inner.Sweep(ctx, req, tr)
+	if err != nil {
+		err = &url.Error{Op: "Post", URL: "http://stub/v1/sweep", Err: err}
+	}
+	return resp, m, err
+}
+
+func (w wrapErrTransport) Check(ctx context.Context) error { return w.inner.Check(ctx) }
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		retryable bool
+		marksDown bool
+	}{
+		{"nil", nil, false, false},
+		{"raw cancel", context.Canceled, false, false},
+		{"wrapped cancel", &url.Error{Op: "Post", URL: "http://w0/v1/flow", Err: context.Canceled}, false, false},
+		{"wrapped deadline", fmt.Errorf("call: %w", context.DeadlineExceeded), false, false},
+		{"status 500", &StatusError{Code: 500, Msg: "wedged"}, true, true},
+		{"wrapped 429", fmt.Errorf("call: %w", &StatusError{Code: 429, Msg: "busy"}), true, true},
+		{"status 400", &StatusError{Code: 400, Msg: "bad"}, false, false},
+		{"network", &url.Error{Op: "Post", URL: "http://w0/v1/flow", Err: errors.New("connection refused")}, true, true},
+		{"gate saturated", par.ErrSaturated, true, false},
+	}
+	for _, tc := range cases {
+		if got := retryable(tc.err); got != tc.retryable {
+			t.Errorf("%s: retryable = %v, want %v", tc.name, got, tc.retryable)
+		}
+		if got := marksDown(tc.err); got != tc.marksDown {
+			t.Errorf("%s: marksDown = %v, want %v", tc.name, got, tc.marksDown)
+		}
+	}
+}
+
+// TestHedgeWinDoesNotMarkDownCanceledLoser pins the membership-flap
+// regression: par.Hedge cancels the losing branch on every hedge win,
+// the HTTP client reports that as a *url.Error wrapping
+// context.Canceled, and that must never count as a backend failure —
+// otherwise every hedge win puts a healthy shard into cooldown and
+// reorders ring ownership.
+func TestHedgeWinDoesNotMarkDownCanceledLoser(t *testing.T) {
+	r, stubs := newStubCluster(t, 2, func(cfg *Config) {
+		cfg.HedgeAfter = 2 * time.Millisecond
+		for i := range cfg.Backends {
+			cfg.Backends[i].Transport = wrapErrTransport{inner: cfg.Backends[i].Transport}
+		}
+	}, 250*time.Millisecond, 0) // w0 straggles; w1 answers instantly
+
+	bench := benchOwnedBy(r, 0, 1, "loser")[0]
+	resp, err := r.RunFlow(context.Background(), &serve.FlowRequest{Bench: bench}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Scheme != stubs[1].name {
+		t.Fatalf("winner = %s, want the hedge backup %s", resp.Scheme, stubs[1].name)
+	}
+	// Wait for the canceled loser to unwind its exec — once its gate
+	// slot is back, its health verdict has been rendered.
+	deadline := time.Now().Add(2 * time.Second)
+	for r.backends[0].gate.Held() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("loser never released its gate slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !r.healthy(r.backends[0]) {
+		t.Error("hedge win marked the slow-but-healthy loser down (wrapped cancel treated as backend failure)")
+	}
+	if _, n := r.backends[0].window.Quantile(0.95); n != 0 {
+		t.Errorf("canceled loser fed %d samples into w0's hedge window, want 0", n)
+	}
+}
+
+// TestSaturatedOwnerFailsOverWithoutMarkDown pins the split between
+// "fail over" and "mark down": par.ErrSaturated from the frontend's
+// own per-backend gate moves the call to the next replica but leaves
+// the owner in rotation.
+func TestSaturatedOwnerFailsOverWithoutMarkDown(t *testing.T) {
+	r, stubs := newStubCluster(t, 2, func(cfg *Config) {
+		cfg.DisableHedge = true
+		cfg.BackendConcurrent = 1
+		cfg.BackendQueue = 1
+	})
+	bench := benchOwnedBy(r, 0, 1, "sat")[0]
+
+	// Fill the owner's slot and wait line so its next Acquire refuses.
+	g := r.backends[0].gate
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		if rel2, err := g.Acquire(context.Background()); err == nil {
+			rel2()
+		}
+	}()
+	for g.Waiting() != 1 {
+		runtime.Gosched()
+	}
+
+	resp, err := r.RunFlow(context.Background(), &serve.FlowRequest{Bench: bench}, nil)
+	if err != nil {
+		t.Fatalf("saturated owner did not fail over: %v", err)
+	}
+	if resp.Scheme != stubs[1].name {
+		t.Errorf("served by %s, want failover to %s", resp.Scheme, stubs[1].name)
+	}
+	if !r.healthy(r.backends[0]) {
+		t.Error("frontend-side saturation marked the owner down; it is not a health signal")
+	}
+	// The per-shard and fleet error series advanced together on the
+	// refusal.
+	if got, shard := r.reg.Counter("cluster.errors"), r.backends[0].errors.Load(); shard != 1 || got != float64(shard) {
+		t.Errorf("cluster.errors=%v shard errors=%d, want both 1", got, shard)
+	}
+	rel()
+	<-waiterDone
+}
+
+// TestFailedCallsDoNotFeedHedgeWindow: only successes may feed the
+// adaptive hedge timing — near-zero failure samples would drag the p95
+// into ever more aggressive hedging.
+func TestFailedCallsDoNotFeedHedgeWindow(t *testing.T) {
+	r, stubs := newStubCluster(t, 2, func(cfg *Config) { cfg.DisableHedge = true })
+	bench := benchOwnedBy(r, 0, 1, "window")[0]
+	stubs[0].setFail(&StatusError{Code: 500, Msg: "boom"})
+	if _, err := r.RunFlow(context.Background(), &serve.FlowRequest{Bench: bench}, nil); err != nil {
+		t.Fatal(err) // rescued by failover
+	}
+	if _, n := r.backends[0].window.Quantile(0.95); n != 0 {
+		t.Errorf("failed call fed %d samples into w0's hedge window, want 0", n)
+	}
+	if _, n := r.backends[1].window.Quantile(0.95); n != 1 {
+		t.Errorf("successful failover fed %d samples into w1's window, want 1", n)
+	}
+}
+
+// TestClusterSweepHonorsWorkersBound: a client-requested Workers bound
+// caps the clustered arm fan-out just as it does standalone.
+func TestClusterSweepHonorsWorkersBound(t *testing.T) {
+	r, stubs := newStubCluster(t, 3, func(cfg *Config) { cfg.DisableHedge = true },
+		2*time.Millisecond, 2*time.Millisecond, 2*time.Millisecond)
+	arms := make([]serve.SweepArm, 12)
+	for i := range arms {
+		arms[i] = serve.SweepArm{Scheme: fmt.Sprintf("wb%02d", i), Corner: "typ"}
+	}
+	req := &serve.SweepRequest{Bench: "bound", Arms: arms, Workers: 1}
+	if _, err := r.RunSweep(context.Background(), req, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range stubs {
+		s.mu.Lock()
+		max := s.maxInflight
+		s.mu.Unlock()
+		if max > 1 {
+			t.Errorf("backend %d saw %d concurrent arms with Workers=1, want <= 1", i, max)
 		}
 	}
 }
