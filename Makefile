@@ -35,9 +35,12 @@ fmt:
 
 # The repo's own analyzer suite (internal/analysis, docs/static-analysis.md):
 # maporder, seededrand, wallclock, spanhygiene, floatorder, metricname,
-# httpbody. Must exit clean.
+# httpbody, errcmp, gateleak, ctxflow. Must exit clean, and the whole run
+# (package load + all ten analyzers) must stay under the 30 s budget —
+# the canary for the `go list -e -deps -json` load path slowing down as
+# the tree grows.
 lint:
-	$(GO) run ./cmd/smartndrlint ./...
+	$(GO) run ./cmd/smartndrlint -time -budget 30s ./...
 
 # Third-party analyzers; needs network access to fetch the pinned tools,
 # so it is a separate target rather than part of `lint`.

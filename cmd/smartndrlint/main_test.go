@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,10 @@ func TestListPrintsAllAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errw); code != 0 {
 		t.Fatalf("-list exited %d, stderr: %s", code, errw.String())
 	}
-	for _, name := range []string{"maporder", "seededrand", "wallclock", "spanhygiene", "floatorder"} {
+	for _, name := range []string{
+		"maporder", "seededrand", "wallclock", "spanhygiene", "floatorder",
+		"metricname", "httpbody", "errcmp", "gateleak", "ctxflow",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -36,5 +40,75 @@ func TestModuleIsClean(t *testing.T) {
 	if code := run([]string{"-C", "../..", "./..."}, &out, &errw); code != 0 {
 		t.Fatalf("smartndrlint exited %d on the repo\nstdout:\n%s\nstderr:\n%s",
 			code, out.String(), errw.String())
+	}
+}
+
+// TestJSONTimeBudget drives the machine-readable and timing paths on
+// one small package: -json must emit a valid (empty, sorted) array,
+// -time must report every analyzer plus load and total, and an
+// impossible -budget must flip the exit code even with zero findings.
+func TestJSONTimeBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loading a package closure is not short")
+	}
+	var out, errw bytes.Buffer
+	code := run([]string{"-C", "../..", "-json", "-time", "-budget", "1ns", "./internal/geom"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exceeded budget exited %d, want 1\nstderr:\n%s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "over the 1ns budget") {
+		t.Errorf("stderr does not report the blown budget:\n%s", errw.String())
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a diagnostic array: %v\n%s", err, out.String())
+	}
+	if len(diags) != 0 {
+		t.Errorf("expected a clean package, got %d JSON findings", len(diags))
+	}
+	for _, want := range []string{"maporder", "ctxflow", "(load)", "(total)"} {
+		if !strings.Contains(errw.String(), want) {
+			t.Errorf("-time output missing %q:\n%s", want, errw.String())
+		}
+	}
+}
+
+// TestJSONFindings checks the JSON shape on a package with known
+// findings: the spanhygiene golden package under testdata.
+func TestJSONFindings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loading a package closure is not short")
+	}
+	var out, errw bytes.Buffer
+	code := run([]string{"-C", "../../internal/analysis/testdata/src/errcmp/a", "-json", "-run", "errcmp", "."}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("package with findings exited %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errw.String())
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not a diagnostic array: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected errcmp findings in the golden package, got none")
+	}
+	for i, d := range diags {
+		if d.File == "" || d.Line == 0 || d.Analyzer != "errcmp" || d.Message == "" {
+			t.Errorf("finding %d is incomplete: %+v", i, d)
+		}
+		if i > 0 && (diags[i-1].File > d.File || (diags[i-1].File == d.File && diags[i-1].Line > d.Line)) {
+			t.Errorf("findings not sorted at %d: %+v then %+v", i, diags[i-1], d)
+		}
 	}
 }

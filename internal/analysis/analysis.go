@@ -1,10 +1,19 @@
-// Package analysis is the repo's static-analysis suite: seven custom
+// Package analysis is the repo's static-analysis suite: ten custom
 // passes that turn the determinism, tracing, telemetry, units, and
 // resource-hygiene contracts the engine packages rely on —
 // bit-identical parallel results, leak-free span trees, no wall-clock
 // reads on resumable paths, a statically enumerable metric namespace,
-// connection-safe HTTP clients — into build-time errors instead of
-// code-review folklore.
+// connection-safe HTTP clients, wrap-proof error handling, leak-free
+// admission gates, threaded cancellation contexts — into build-time
+// errors instead of code-review folklore.
+//
+// The resource-hygiene passes (spanhygiene, httpbody, gateleak) share
+// a function-level control-flow-graph and must-reach dataflow engine
+// (cfg.go, dataflow.go): CFGs are built once per package and cached,
+// and each analyzer instantiates the engine with a small rule — what
+// acquires the resource, what consumes it, what counts as ownership
+// escaping. See docs/static-analysis.md for the block model and merge
+// semantics.
 //
 // The framework deliberately mirrors the golang.org/x/tools/go/analysis
 // shape (Analyzer, Pass, Diagnostic) but is built on the standard
@@ -59,6 +68,7 @@ type Pass struct {
 
 	directives directiveIndex
 	report     func(Diagnostic)
+	pkg        *Package // owning package; carries the shared CFG cache
 }
 
 // Reportf records a finding at pos.
@@ -129,7 +139,7 @@ func buildDirectives(fset *token.FileSet, files []*ast.File) directiveIndex {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Maporder, Seededrand, Wallclock, Spanhygiene, Floatorder, Metricname, Httpbody}
+	return []*Analyzer{Maporder, Seededrand, Wallclock, Spanhygiene, Floatorder, Metricname, Httpbody, Errcmp, Gateleak, Ctxflow}
 }
 
 // ByName resolves a comma-separated analyzer subset ("" means all).
@@ -166,6 +176,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Pkg:        pkg.Types,
 				Info:       pkg.Info,
 				directives: pkg.directives,
+				pkg:        pkg,
 			}
 			pass.report = func(d Diagnostic) {
 				if pkg.directives.has(d.Pos, "allow:"+d.Analyzer) {
@@ -178,6 +189,14 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 			}
 		}
 	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders findings by position, then analyzer — the
+// canonical deterministic output order. Exported for drivers that run
+// analyzers separately (per-analyzer timing) and merge afterwards.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -191,7 +210,6 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
 }
 
 // pathBase returns the last element of an import path.

@@ -19,10 +19,13 @@ func TestGolden(t *testing.T) {
 		{analysis.Maporder, []string{"maporder/core", "maporder/other"}},
 		{analysis.Seededrand, []string{"seededrand/engine", "seededrand/par"}},
 		{analysis.Wallclock, []string{"wallclock/sta", "wallclock/obs", "wallclock/cli"}},
-		{analysis.Spanhygiene, []string{"spanhygiene/a"}},
+		{analysis.Spanhygiene, []string{"spanhygiene/a", "spanhygiene/cfg"}},
 		{analysis.Floatorder, []string{"floatorder/a"}},
 		{analysis.Metricname, []string{"metricname/engine", "metricname/clean"}},
 		{analysis.Httpbody, []string{"httpbody/client"}},
+		{analysis.Errcmp, []string{"errcmp/a", "errcmp/own"}},
+		{analysis.Gateleak, []string{"gateleak/a"}},
+		{analysis.Ctxflow, []string{"ctxflow/lib", "ctxflow/mainpkg"}},
 	}
 	for _, c := range cases {
 		c := c
@@ -64,7 +67,18 @@ func TestAllHaveDocs(t *testing.T) {
 			t.Errorf("analyzer name %q must be a single flag-friendly token", a.Name)
 		}
 	}
-	if len(seen) != 7 {
-		t.Errorf("expected the seven suite analyzers, got %d", len(seen))
+	// The full roster, by name: a registration forgotten in All() fails
+	// here, not silently in CI.
+	want := []string{
+		"maporder", "seededrand", "wallclock", "spanhygiene", "floatorder",
+		"metricname", "httpbody", "errcmp", "gateleak", "ctxflow",
+	}
+	if len(seen) != len(want) {
+		t.Errorf("expected the %d suite analyzers, got %d", len(want), len(seen))
+	}
+	for _, name := range want {
+		if !seen[name] {
+			t.Errorf("analyzer %q is not registered in All()", name)
+		}
 	}
 }

@@ -1,0 +1,513 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file builds per-function control-flow graphs for the dataflow
+// engine in dataflow.go. The CFG models exactly the control constructs
+// the resource-hygiene analyzers (spanhygiene, httpbody, gateleak)
+// need to reason about paths:
+//
+//   - straight-line blocks of atomic statements (assign, decl, expr,
+//     defer, go, send, inc/dec),
+//   - branch and merge for if/switch/type-switch/select, including
+//     fallthrough and the no-case-taken edge of a switch without a
+//     default (a select without a default blocks until a case fires,
+//     so it gets no such edge),
+//   - loops (for, range) with explicit back edges, plus labeled
+//     break/continue and goto, each annotated with the set of loop
+//     iterations the jump terminates,
+//   - exit points: every return, and the fall-off-the-end of the
+//     function body, and
+//   - escape points: statement-position calls that never return
+//     (panic, os.Exit, runtime.Goexit, log.Fatal*/Panic*) end their
+//     block with no successors, so paths through them are pruned.
+//
+// Nested function literals are *not* inlined — each FuncDecl and
+// FuncLit body gets its own CFG, mirroring how the analyzers treat
+// closures as independent functions. Statements after an
+// unconditional jump still get blocks (they may be goto targets) but
+// are unreachable unless something jumps to them; the dataflow engine
+// skips blocks the fixpoint never reaches.
+//
+// CFGs are built once per package and shared by every analyzer via
+// Pass.funcCFG — the builder only consults types.Info (identical
+// across a package's passes), so the cache lives on the Package.
+
+// A cfgLoop is one lexical loop; its body extent decides which
+// acquisitions count as "inside the loop" for iteration-end checks.
+type cfgLoop struct {
+	bodyPos, bodyEnd token.Pos
+}
+
+// contains reports whether pos lies inside the loop body.
+func (l *cfgLoop) contains(pos token.Pos) bool {
+	return pos >= l.bodyPos && pos < l.bodyEnd
+}
+
+// An iterEnd marks a CFG edge that terminates one iteration of loop —
+// a back edge (at the body end), a break/continue, or a goto that
+// leaves the loop body. `at` is where the iteration ends, for
+// diagnostics.
+type iterEnd struct {
+	loop *cfgLoop
+	at   token.Pos
+}
+
+// A cfgEdge is one control transfer. cond (with negate) carries the
+// branch condition of an if, so the dataflow engine can apply
+// condition-derived facts (the err-guard idiom) per edge; iters lists
+// the loop iterations the edge terminates.
+type cfgEdge struct {
+	to     *cfgBlock
+	cond   ast.Expr
+	negate bool // edge taken when cond is false
+	iters  []iterEnd
+}
+
+// A cfgExit is a path out of the function, attached to the block that
+// ends there.
+type cfgExit struct {
+	pos   token.Pos
+	where string // "this return" or "function end"
+}
+
+// A cfgBlock is one straight-line run of atomic statements.
+type cfgBlock struct {
+	index int
+	stmts []ast.Stmt
+	succs []cfgEdge
+	exit  *cfgExit // non-nil when the block leaves the function
+}
+
+// A funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry  *cfgBlock
+	blocks []*cfgBlock // creation order; deterministic
+}
+
+// funcCFG returns the (cached) CFG for a function body in this
+// package. The cache is shared across analyzers: the builder depends
+// only on syntax and types.Info, both fixed per package.
+func (p *Pass) funcCFG(body *ast.BlockStmt) *funcCFG {
+	if p.pkg == nil {
+		return buildCFG(p.Info, body)
+	}
+	if p.pkg.cfgs == nil {
+		p.pkg.cfgs = map[*ast.BlockStmt]*funcCFG{}
+	}
+	if g, ok := p.pkg.cfgs[body]; ok {
+		return g
+	}
+	g := buildCFG(p.Info, body)
+	p.pkg.cfgs[body] = g
+	return g
+}
+
+// --- builder ---
+
+// A cfgTarget is one entry of the break/continue target stack: loops
+// carry both targets and their loop record, switch/select only break.
+type cfgTarget struct {
+	up         *cfgTarget
+	label      string
+	loop       *cfgLoop  // nil for switch/select
+	breakTo    *cfgBlock
+	continueTo *cfgBlock // nil unless loop
+}
+
+type cfgLabel struct {
+	block *cfgBlock
+	pos   token.Pos
+}
+
+// A cfgGoto is a pending goto edge, resolved after the whole body is
+// built so forward jumps work; loops snapshots the enclosing loops at
+// the goto (innermost last) to compute terminated iterations.
+type cfgGoto struct {
+	from  *cfgBlock
+	pos   token.Pos
+	name  string
+	loops []*cfgLoop
+}
+
+type cfgBuilder struct {
+	info    *types.Info
+	blocks  []*cfgBlock
+	cur     *cfgBlock // nil after an unconditional jump (dead position)
+	targets *cfgTarget
+	label   string // pending label for the next breakable statement
+	labels  map[string]*cfgLabel
+	gotos   []cfgGoto
+	loopStk []*cfgLoop
+	fall    *cfgBlock // fallthrough target inside a switch clause
+}
+
+func buildCFG(info *types.Info, body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{info: info, labels: map[string]*cfgLabel{}}
+	entry := b.newBlock()
+	b.cur = entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.cur.exit = &cfgExit{pos: body.End(), where: "function end"}
+	}
+	b.resolveGotos()
+	return &funcCFG{entry: entry, blocks: b.blocks}
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.blocks)}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock, cond ast.Expr, negate bool, iters []iterEnd) {
+	from.succs = append(from.succs, cfgEdge{to: to, cond: cond, negate: negate, iters: iters})
+}
+
+// jump links cur to `to` (when cur is live) and makes `to` current.
+func (b *cfgBuilder) jump(to *cfgBlock) {
+	if b.cur != nil {
+		b.edge(b.cur, to, nil, false, nil)
+	}
+	b.cur = to
+}
+
+// takeLabel consumes the pending label set by an enclosing LabeledStmt.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		if b.cur == nil {
+			// Dead position (after return/break/goto): statements here
+			// still get blocks — they may be goto targets — but stay
+			// unreachable unless something jumps in.
+			b.cur = b.newBlock()
+		}
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.jump(lb)
+		b.labels[s.Label.Name] = &cfgLabel{block: lb, pos: s.Pos()}
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, s.Body)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ReturnStmt:
+		b.cur.exit = &cfgExit{pos: s.Pos(), where: "this return"}
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ExprStmt:
+		b.cur.stmts = append(b.cur.stmts, s)
+		if isNoReturnCall(b.info, s.X) {
+			b.cur = nil // escape point: panic/os.Exit/… never returns
+		}
+	default:
+		// Assign, Decl, Defer, Go, Send, IncDec, Empty: atomic.
+		b.cur.stmts = append(b.cur.stmts, s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	cond := b.cur
+	then := b.newBlock()
+	b.edge(cond, then, s.Cond, false, nil)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+	join := b.newBlock()
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(cond, els, s.Cond, true, nil)
+		b.cur = els
+		b.stmt(s.Else)
+		if b.cur != nil {
+			b.edge(b.cur, join, nil, false, nil)
+		}
+	} else {
+		b.edge(cond, join, s.Cond, true, nil)
+	}
+	if thenEnd != nil {
+		b.edge(thenEnd, join, nil, false, nil)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	header := b.newBlock()
+	b.jump(header)
+	loop := &cfgLoop{bodyPos: s.Body.Pos(), bodyEnd: s.Body.End()}
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(header, body, s.Cond, false, nil)
+	if s.Cond != nil {
+		b.edge(header, after, s.Cond, true, nil)
+	}
+	contTo := header
+	if s.Post != nil {
+		post := b.newBlock()
+		post.stmts = append(post.stmts, s.Post)
+		b.edge(post, header, nil, false, nil)
+		contTo = post
+	}
+	b.targets = &cfgTarget{up: b.targets, label: b.takeLabel(), loop: loop, breakTo: after, continueTo: contTo}
+	b.loopStk = append(b.loopStk, loop)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		// Back edge: the normal end of an iteration.
+		b.edge(b.cur, contTo, nil, false, []iterEnd{{loop, s.Body.End()}})
+	}
+	b.loopStk = b.loopStk[:len(b.loopStk)-1]
+	b.targets = b.targets.up
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	header := b.newBlock()
+	b.jump(header)
+	loop := &cfgLoop{bodyPos: s.Body.Pos(), bodyEnd: s.Body.End()}
+	body := b.newBlock()
+	after := b.newBlock()
+	b.edge(header, body, nil, false, nil)
+	b.edge(header, after, nil, false, nil)
+	b.targets = &cfgTarget{up: b.targets, label: b.takeLabel(), loop: loop, breakTo: after, continueTo: header}
+	b.loopStk = append(b.loopStk, loop)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, header, nil, false, []iterEnd{{loop, s.Body.End()}})
+	}
+	b.loopStk = b.loopStk[:len(b.loopStk)-1]
+	b.targets = b.targets.up
+	b.cur = after
+}
+
+// switchStmt builds both expression and type switches: every clause is
+// a branch from the tag block, fallthrough edges link consecutive
+// clauses, and a missing default adds the no-case-taken edge.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, body *ast.BlockStmt) {
+	if init != nil {
+		b.stmt(init)
+	}
+	cond := b.cur
+	after := b.newBlock()
+	b.targets = &cfgTarget{up: b.targets, label: b.takeLabel(), breakTo: after}
+	clauseBlocks := make([]*cfgBlock, len(body.List))
+	for i := range body.List {
+		clauseBlocks[i] = b.newBlock()
+	}
+	prevFall := b.fall
+	hasDefault := false
+	for i, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(cond, clauseBlocks[i], nil, false, nil)
+		if i+1 < len(clauseBlocks) {
+			b.fall = clauseBlocks[i+1]
+		} else {
+			b.fall = nil
+		}
+		b.cur = clauseBlocks[i]
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, after, nil, false, nil)
+		}
+	}
+	b.fall = prevFall
+	if !hasDefault {
+		b.edge(cond, after, nil, false, nil)
+	}
+	b.targets = b.targets.up
+	b.cur = after
+}
+
+// selectStmt branches to every comm clause. Unlike a switch, a select
+// without a default has no fall-through edge: it blocks until one of
+// its cases can proceed, so some clause always runs.
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	cond := b.cur
+	after := b.newBlock()
+	b.targets = &cfgTarget{up: b.targets, label: b.takeLabel(), breakTo: after}
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		b.edge(cond, blk, nil, false, nil)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, after, nil, false, nil)
+		}
+	}
+	b.targets = b.targets.up
+	b.cur = after
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		if t := b.findTarget(s.Label, false); t != nil {
+			b.edge(b.cur, t.breakTo, nil, false, b.exitedLoops(t, s.Pos(), true))
+		}
+	case token.CONTINUE:
+		if t := b.findTarget(s.Label, true); t != nil {
+			b.edge(b.cur, t.continueTo, nil, false, b.exitedLoops(t, s.Pos(), true))
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			loops := make([]*cfgLoop, len(b.loopStk))
+			copy(loops, b.loopStk)
+			b.gotos = append(b.gotos, cfgGoto{from: b.cur, pos: s.Pos(), name: s.Label.Name, loops: loops})
+		}
+	case token.FALLTHROUGH:
+		if b.fall != nil {
+			b.edge(b.cur, b.fall, nil, false, nil)
+		}
+	}
+	b.cur = nil
+}
+
+// findTarget resolves a break (any breakable) or continue (loops only)
+// to its target-stack entry, honoring an optional label.
+func (b *cfgBuilder) findTarget(label *ast.Ident, loopOnly bool) *cfgTarget {
+	for t := b.targets; t != nil; t = t.up {
+		if loopOnly && t.loop == nil {
+			continue
+		}
+		if label == nil || t.label == label.Name {
+			return t
+		}
+	}
+	return nil
+}
+
+// exitedLoops collects the iterations a break/continue terminates: the
+// loops on the target stack from the innermost through the target.
+// Breaking a labeled outer loop ends the current iteration of every
+// loop in between; breaking a switch ends none. includeTarget is true
+// for both break and continue — either way the target loop's current
+// iteration is over.
+func (b *cfgBuilder) exitedLoops(target *cfgTarget, at token.Pos, includeTarget bool) []iterEnd {
+	var iters []iterEnd
+	for t := b.targets; t != nil; t = t.up {
+		if t == target {
+			if includeTarget && t.loop != nil {
+				iters = append(iters, iterEnd{t.loop, at})
+			}
+			break
+		}
+		if t.loop != nil {
+			iters = append(iters, iterEnd{t.loop, at})
+		}
+	}
+	return iters
+}
+
+// resolveGotos links goto statements to their label blocks. A goto
+// terminates the iteration of every enclosing loop whose body does not
+// contain the label (jumping within the same iteration ends nothing).
+func (b *cfgBuilder) resolveGotos() {
+	for _, g := range b.gotos {
+		lb := b.labels[g.name]
+		if lb == nil || g.from == nil {
+			continue
+		}
+		var iters []iterEnd
+		for i := len(g.loops) - 1; i >= 0; i-- {
+			if g.loops[i].contains(lb.pos) {
+				break // label inside this loop (and every outer one)
+			}
+			iters = append(iters, iterEnd{g.loops[i], g.pos})
+		}
+		b.edge(g.from, lb.block, nil, false, iters)
+	}
+}
+
+// isNoReturnCall recognizes statement-position calls that never
+// return: panic, os.Exit, runtime.Goexit, and the log package's
+// Fatal*/Panic* family. Blocks ending in one get no successors, so
+// resources still open there are not leaks — the old lexical walkers
+// merged these paths pessimistically; the CFG prunes them.
+func isNoReturnCall(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+			return true
+		}
+	}
+	pkg, fn := pkgFuncInfo(info, call)
+	switch pkg {
+	case "os":
+		return fn == "Exit"
+	case "runtime":
+		return fn == "Goexit"
+	case "log":
+		return strings.HasPrefix(fn, "Fatal") || strings.HasPrefix(fn, "Panic")
+	}
+	return false
+}
+
+// pkgFuncInfo is pkgFunc without a Pass (the builder holds only the
+// types.Info).
+func pkgFuncInfo(info *types.Info, call *ast.CallExpr) (pkgPath, fn string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}

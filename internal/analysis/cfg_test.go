@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// buildTestCFG type-checks one import-free source file and returns the
+// CFG of the named function.
+func buildTestCFG(t *testing.T, src, fn string) *funcCFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return buildCFG(info, fd.Body)
+		}
+	}
+	t.Fatalf("no function %s in source", fn)
+	return nil
+}
+
+// reachable returns the set of block indices reachable from entry.
+func reachable(g *funcCFG) map[int]bool {
+	seen := map[int]bool{g.entry.index: true}
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		for _, e := range b.succs {
+			if !seen[e.to.index] {
+				seen[e.to.index] = true
+				work = append(work, e.to)
+			}
+		}
+	}
+	return seen
+}
+
+func exitBlocks(g *funcCFG) []*cfgBlock {
+	var out []*cfgBlock
+	for _, b := range g.blocks {
+		if b.exit != nil {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// A goto target after an unconditional return is only reachable
+// through the goto edge — the CFG must carry it.
+func TestCFGGotoReachesLabel(t *testing.T) {
+	g := buildTestCFG(t, `package p
+func f(fail bool) int {
+	x := 1
+	if fail {
+		goto bail
+	}
+	return x
+bail:
+	return 0
+}`, "f")
+	exits := exitBlocks(g)
+	if len(exits) != 2 {
+		t.Fatalf("want 2 return exits, got %d", len(exits))
+	}
+	seen := reachable(g)
+	for _, b := range exits {
+		if !seen[b.index] {
+			t.Errorf("exit block %d (%s) unreachable — goto edge missing", b.index, b.exit.where)
+		}
+	}
+}
+
+// break outer from a nested loop terminates the current iteration of
+// BOTH loops; the edge must carry an iterEnd per loop, innermost
+// first.
+func TestCFGLabeledBreakTerminatesBothLoops(t *testing.T) {
+	g := buildTestCFG(t, `package p
+func f(rows [][]int) {
+outer:
+	for _, r := range rows {
+		for _, v := range r {
+			if v < 0 {
+				break outer
+			}
+		}
+	}
+}`, "f")
+	var breakIters []iterEnd
+	for _, b := range g.blocks {
+		for _, e := range b.succs {
+			if len(e.iters) > len(breakIters) {
+				breakIters = e.iters
+			}
+		}
+	}
+	if len(breakIters) != 2 {
+		t.Fatalf("break outer should end 2 iterations, edge carries %d", len(breakIters))
+	}
+	inner, outer := breakIters[0].loop, breakIters[1].loop
+	if !(inner.bodyPos > outer.bodyPos && inner.bodyEnd < outer.bodyEnd) {
+		t.Errorf("iterEnds not innermost-first: inner %v outer %v", inner, outer)
+	}
+}
+
+// A goto that jumps out of a loop ends that loop's iteration; one that
+// stays inside ends nothing.
+func TestCFGGotoLoopExit(t *testing.T) {
+	g := buildTestCFG(t, `package p
+func f(n int) int {
+	for i := 0; i < n; i++ {
+		if i == 7 {
+			goto out
+		}
+	}
+	return 0
+out:
+	return 1
+}`, "f")
+	found := false
+	for _, b := range g.blocks {
+		for _, e := range b.succs {
+			if len(e.iters) == 1 && e.cond == nil && e.to.exit != nil {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("goto out of the loop carries no iterEnd to the label block")
+	}
+}
+
+// A select without default has no fall-through edge (it blocks until a
+// case fires); a switch without default does.
+func TestCFGSelectVsSwitchDefault(t *testing.T) {
+	sel := buildTestCFG(t, `package p
+func f(a, b chan int) {
+	select {
+	case <-a:
+	case <-b:
+	}
+}`, "f")
+	if n := len(sel.entry.succs); n != 2 {
+		t.Errorf("select without default: entry has %d successors, want 2 (one per case, no fall-through)", n)
+	}
+	sw := buildTestCFG(t, `package p
+func f(x int) {
+	switch x {
+	case 1:
+	case 2:
+	}
+}`, "f")
+	if n := len(sw.entry.succs); n != 3 {
+		t.Errorf("switch without default: entry has %d successors, want 3 (one per case + no-case-taken)", n)
+	}
+}
+
+// A statement-position panic ends its block with no successors: paths
+// through it never reach an exit, so they cannot leak.
+func TestCFGPanicPrunesPath(t *testing.T) {
+	g := buildTestCFG(t, `package p
+func f(bad bool) int {
+	if bad {
+		panic("no")
+	}
+	return 1
+}`, "f")
+	if n := len(exitBlocks(g)); n != 1 {
+		t.Fatalf("want 1 exit (the return), got %d", n)
+	}
+	pruned := false
+	for _, b := range g.blocks {
+		if len(b.stmts) == 1 && len(b.succs) == 0 && b.exit == nil {
+			pruned = true
+		}
+	}
+	if !pruned {
+		t.Error("the panic block still has successors or an exit")
+	}
+}
+
+// The normal end of a loop body is a back edge annotated with that
+// loop's iterEnd at the body's closing brace.
+func TestCFGBackEdgeIterEnd(t *testing.T) {
+	g := buildTestCFG(t, `package p
+func f(n int) {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	_ = s
+}`, "f")
+	count := 0
+	for _, b := range g.blocks {
+		for _, e := range b.succs {
+			for _, it := range e.iters {
+				count++
+				if it.at != it.loop.bodyEnd {
+					t.Errorf("back edge iterEnd at %v, want body end %v", it.at, it.loop.bodyEnd)
+				}
+			}
+		}
+	}
+	if count != 1 {
+		t.Errorf("want exactly 1 iterEnd on the back edge, got %d", count)
+	}
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow enforces the cancellation-threading contract the cluster
+// layer depends on: a request's context must flow from the HTTP
+// handler down through every backend call, or hedged retries and
+// drains cannot cancel in-flight work.
+//
+// Two rules:
+//
+//  1. context.Background() and context.TODO() are forbidden outside
+//     package main — library code that mints a fresh root context
+//     detaches itself from its caller's deadline and cancellation.
+//     Test files never reach the linter (the loader reads GoFiles
+//     only), and deliberate roots — long-lived daemons, background
+//     probes — take //lint:allow ctxflow with a why.
+//  2. Even in package main, minting a root context while a
+//     context.Context parameter is in scope is flagged: the enclosing
+//     function was handed a context precisely so callees inherit it.
+//
+// Suppress a deliberate exception with //lint:allow ctxflow.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context.Background/TODO are forbidden where a caller's context should flow",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(pass *Pass) error {
+	isMain := pass.Pkg != nil && pass.Pkg.Name() == "main"
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, fn := pkgFunc(pass.Info, call)
+			if pkg != "context" || (fn != "Background" && fn != "TODO") {
+				return true
+			}
+			if ctxParam := enclosingCtxParam(pass, stack); ctxParam != "" {
+				pass.Reportf(call.Pos(),
+					"context.%s discards the in-scope context %q; thread it (or derive with context.WithTimeout/WithCancel) so cancellation propagates",
+					fn, ctxParam)
+				return true
+			}
+			if !isMain {
+				pass.Reportf(call.Pos(),
+					"context.%s in library code detaches callees from the caller's deadline and cancellation; accept a context.Context instead",
+					fn)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingCtxParam returns the name of a context.Context parameter of
+// the innermost enclosing function (declaration or literal) that has
+// one, or "". Only named, non-blank parameters count — an unnamed or
+// blank context is an explicit statement that it is not for use.
+func enclosingCtxParam(pass *Pass, stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			ft = fn.Type
+		case *ast.FuncLit:
+			ft = fn.Type
+		default:
+			continue
+		}
+		if ft.Params != nil {
+			for _, field := range ft.Params.List {
+				for _, name := range field.Names {
+					if name.Name == "_" {
+						continue
+					}
+					if obj := pass.Info.Defs[name]; obj != nil && isContextType(obj.Type()) {
+						return name.Name
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

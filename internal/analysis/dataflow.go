@@ -1,0 +1,609 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the shared must-reach dataflow engine: "a resource
+// acquired here must reach a consuming call on every path out of the
+// function, and out of the loop iteration that acquired it". Three
+// analyzers instantiate it — spanhygiene (obs spans must End),
+// httpbody (response bodies must Close), gateleak (par.Gate release
+// funcs must run) — by filling in a consumeRule; the path reasoning,
+// defer semantics, error-guard idiom, loop-iteration checks, and
+// escape exemption live here once instead of being reimplemented per
+// analyzer.
+//
+// The analysis is a forward must-analysis over the function CFG
+// (cfg.go). Per tracked object the state is one of:
+//
+//	open      — acquired, consumption not yet guaranteed (an entry
+//	            with deferPos == 0)
+//	deferred  — consumption registered on the defer stack; satisfied
+//	            at every function exit (entry with deferPos != 0)
+//	closed    — consumed, or never acquired on this path (no entry)
+//
+// Merging predecessor states is pessimistic in exactly the all-paths
+// sense: a resource is open after a merge if any incoming path left
+// it open, and deferred only if every incoming path deferred it; a
+// path that closed it explicitly contributes "no obligation" without
+// making the defer universal.
+//
+// Exits report open resources; loop-terminating edges (cfg.go
+// iterEnd) report resources acquired inside that loop's body that are
+// still open — including, with a dedicated message, resources whose
+// only consumption is a defer registered in the same loop body, since
+// defers run at function return, not at iteration end, and so
+// accumulate one pinned resource per iteration.
+type consumeRule struct {
+	// isAcquire reports whether the call yields the tracked resource
+	// (alone or in a result tuple).
+	isAcquire func(p *Pass, call *ast.CallExpr) bool
+	// isResourceType reports whether a bound variable of this type
+	// holds the resource handle.
+	isResourceType func(t types.Type) bool
+	// consumes returns the object whose obligation the call satisfies,
+	// or nil.
+	consumes func(p *Pass, call *ast.CallExpr) types.Object
+	// pairErr pairs each acquisition with the error variable assigned
+	// in the same statement; on branch edges where that error is known
+	// non-nil the resource is dropped (nil by the acquiring API's
+	// contract, nothing to consume).
+	pairErr bool
+	// escapes reports whether the object's uses transfer ownership out
+	// of the function (returned, stored, passed along); escaping
+	// resources are exempt.
+	escapes func(p *Pass, body *ast.BlockStmt, obj types.Object) bool
+
+	// discardMsg, when non-empty, flags acquisitions whose handle is
+	// discarded (statement position, or bound to _): nothing can ever
+	// consume them.
+	discardMsg string
+	// reportExit flags obj (acquired at acq) still open at a function
+	// exit; where is "this return" or "function end".
+	reportExit func(p *Pass, obj types.Object, acq token.Pos, at token.Position, where string)
+	// reportLoop flags obj still open when the loop iteration that
+	// acquired it ends at `at`.
+	reportLoop func(p *Pass, obj types.Object, acq token.Pos, at token.Position)
+	// reportDeferLoop flags obj acquired in a loop whose only
+	// consumption is a defer registered inside that same loop body.
+	reportDeferLoop func(p *Pass, obj types.Object, acq token.Pos, at token.Position)
+}
+
+// resEntry is the per-object dataflow fact while an obligation is
+// outstanding or deferred.
+type resEntry struct {
+	acqPos   token.Pos    // acquisition site, where diagnostics point
+	errObj   types.Object // error assigned alongside (pairErr only)
+	deferPos token.Pos    // 0 = open; else the defer registering consumption
+}
+
+// rstate maps tracked objects to their facts. Absence means closed
+// (or never acquired on this path). A nil rstate marks an unreached
+// block.
+type rstate map[types.Object]resEntry
+
+func cloneState(st rstate) rstate {
+	c := make(rstate, len(st))
+	for k, v := range st { //lint:commutative — map copy
+		c[k] = v
+	}
+	return c
+}
+
+func statesEqual(a, b rstate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a { //lint:commutative — pure comparison
+		vb, ok := b[k]
+		if !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeStates folds predecessor end-states: open if any path is open
+// (keeping the latest acquisition site), deferred only if every path
+// deferred, dropped otherwise. The ordering rules make the result
+// independent of predecessor iteration order.
+func mergeStates(preds []rstate) rstate {
+	out := rstate{}
+	for _, p := range preds {
+		for obj, e := range p { //lint:commutative — order-independent fold (max/all rules below)
+			cur, seen := out[obj]
+			if !seen {
+				out[obj] = e
+				continue
+			}
+			// Any open predecessor makes the merge open; otherwise keep
+			// the later defer. The later acquisition site wins either
+			// way, matching the branch-ordered union of the old walkers.
+			if e.acqPos > cur.acqPos {
+				cur.acqPos, cur.errObj = e.acqPos, e.errObj
+			}
+			if e.deferPos == 0 || cur.deferPos == 0 {
+				cur.deferPos = 0
+			} else if e.deferPos > cur.deferPos {
+				cur.deferPos = e.deferPos
+			}
+			out[obj] = cur
+		}
+	}
+	// Deferred entries must be deferred on *every* incoming path; a
+	// path without the entry closed it (or never acquired it), so the
+	// defer is not universal — but there is no obligation either: drop.
+	for obj, e := range out { //lint:commutative — per-key filter
+		if e.deferPos == 0 {
+			continue
+		}
+		for _, p := range preds {
+			if _, ok := p[obj]; !ok {
+				delete(out, obj)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// run applies the rule to every function (declaration or literal) in
+// the package.
+func (r *consumeRule) run(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				r.checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc runs the dataflow over one function body and reports.
+func (r *consumeRule) checkFunc(pass *Pass, body *ast.BlockStmt) {
+	g := pass.funcCFG(body)
+	escCache := map[types.Object]bool{}
+	escapes := func(obj types.Object) bool {
+		if v, ok := escCache[obj]; ok {
+			return v
+		}
+		v := r.escapes(pass, body, obj)
+		escCache[obj] = v
+		return v
+	}
+
+	if r.discardMsg != "" {
+		r.reportDiscards(pass, g)
+	}
+
+	// Forward fixpoint: in-states recomputed from predecessor
+	// out-states each round until stable. Blocks are visited in
+	// creation order (headers precede bodies), so rounds converge in
+	// O(loop nesting); the cap is a safety net for goto-made cycles.
+	type predEdge struct{ block, edge int }
+	predsOf := make([][]predEdge, len(g.blocks))
+	for _, blk := range g.blocks {
+		for ei, e := range blk.succs {
+			predsOf[e.to.index] = append(predsOf[e.to.index], predEdge{blk.index, ei})
+		}
+	}
+	in := make([]rstate, len(g.blocks))
+	out := make([]rstate, len(g.blocks))
+	in[g.entry.index] = rstate{}
+	for round := 0; round < len(g.blocks)+8; round++ {
+		changed := false
+		for _, blk := range g.blocks {
+			if in[blk.index] == nil {
+				continue
+			}
+			o := r.transfer(pass, cloneState(in[blk.index]), blk, escapes)
+			if !statesEqual(o, out[blk.index]) || out[blk.index] == nil {
+				out[blk.index] = o
+				changed = true
+			}
+		}
+		for _, blk := range g.blocks {
+			if blk == g.entry {
+				continue
+			}
+			var incoming []rstate
+			for _, pe := range predsOf[blk.index] {
+				if out[pe.block] == nil {
+					continue
+				}
+				incoming = append(incoming, r.edgeState(pass, out[pe.block], g.blocks[pe.block].succs[pe.edge]))
+			}
+			if len(incoming) == 0 {
+				continue
+			}
+			m := mergeStates(incoming)
+			if in[blk.index] == nil || !statesEqual(m, in[blk.index]) {
+				in[blk.index] = m
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Reporting: walk every reachable block once, replaying its
+	// transfer to get the state at each exit and at each
+	// loop-terminating edge; collect events, keep the earliest per
+	// object (matching the first report of a source-ordered walk), and
+	// emit.
+	type event struct {
+		obj  types.Object
+		e    resEntry
+		at   token.Pos
+		kind int // 0 exit, 1 loop, 2 defer-in-loop
+		where string
+	}
+	var events []event
+	for _, blk := range g.blocks {
+		if in[blk.index] == nil {
+			continue
+		}
+		st := r.transfer(pass, cloneState(in[blk.index]), blk, escapes)
+		if blk.exit != nil {
+			for obj, e := range st { //lint:commutative — events sorted below
+				if e.deferPos == 0 {
+					events = append(events, event{obj, e, blk.exit.pos, 0, blk.exit.where})
+				}
+			}
+		}
+		for _, edge := range blk.succs {
+			if len(edge.iters) == 0 {
+				continue
+			}
+			es := r.edgeState(pass, st, edge)
+			for _, it := range edge.iters {
+				for obj, e := range es { //lint:commutative — events sorted below
+					if e.acqPos < it.loop.bodyPos {
+						continue // acquired outside this loop
+					}
+					switch {
+					case e.deferPos == 0:
+						events = append(events, event{obj, e, it.at, 1, ""})
+					case it.loop.contains(e.deferPos):
+						events = append(events, event{obj, e, it.at, 2, ""})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		return a.e.acqPos < b.e.acqPos
+	})
+	reported := map[types.Object]bool{}
+	for _, ev := range events {
+		if reported[ev.obj] {
+			continue
+		}
+		reported[ev.obj] = true
+		at := pass.Fset.Position(ev.at)
+		switch ev.kind {
+		case 0:
+			r.reportExit(pass, ev.obj, ev.e.acqPos, at, ev.where)
+		case 1:
+			r.reportLoop(pass, ev.obj, ev.e.acqPos, at)
+		case 2:
+			r.reportDeferLoop(pass, ev.obj, ev.e.acqPos, at)
+		}
+	}
+}
+
+// transfer applies a block's statements to st in execution order.
+func (r *consumeRule) transfer(pass *Pass, st rstate, blk *cfgBlock, escapes func(types.Object) bool) rstate {
+	for _, s := range blk.stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			r.acquireAssign(pass, st, s, escapes)
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						r.acquireValueSpec(pass, st, vs, escapes)
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if obj := r.consumes(pass, call); obj != nil {
+					delete(st, obj)
+				}
+			}
+		case *ast.DeferStmt:
+			r.deferStmt(pass, st, s)
+		}
+	}
+	return st
+}
+
+// deferStmt registers deferred consumptions: `defer x.Consume()`
+// directly, or any consuming call inside a deferred closure — the
+// closure runs on every path out of the function, so every
+// consumption in it (even a conditional one, pessimism traded for the
+// overwhelmingly common cleanup-closure idiom) counts.
+func (r *consumeRule) deferStmt(pass *Pass, st rstate, s *ast.DeferStmt) {
+	mark := func(obj types.Object) {
+		if e, ok := st[obj]; ok {
+			e.deferPos = s.Pos()
+			st[obj] = e
+		}
+	}
+	if obj := r.consumes(pass, s.Call); obj != nil {
+		mark(obj)
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if obj := r.consumes(pass, call); obj != nil {
+					mark(obj)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// acquireAssign tracks resources bound by an assignment: the tuple
+// form `res, err := acquire(...)` (pairing the error variable when
+// the rule asks) and the element-wise form `res := acquire(...)`.
+func (r *consumeRule) acquireAssign(pass *Pass, st rstate, s *ast.AssignStmt, escapes func(types.Object) bool) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok || !r.isAcquire(pass, call) {
+			return
+		}
+		var errObj types.Object
+		if r.pairErr {
+			for _, l := range s.Lhs {
+				if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+					if obj := objOf(pass, id); obj != nil && isErrorType(obj.Type()) {
+						errObj = obj
+					}
+				}
+			}
+		}
+		for _, l := range s.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := objOf(pass, id)
+			if obj == nil || !r.isResourceType(obj.Type()) || escapes(obj) {
+				continue
+			}
+			st[obj] = resEntry{acqPos: call.Pos(), errObj: errObj}
+		}
+		return
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, rhs := range s.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !r.isAcquire(pass, call) {
+				continue
+			}
+			id, ok := s.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := objOf(pass, id)
+			if obj == nil || !r.isResourceType(obj.Type()) || escapes(obj) {
+				continue
+			}
+			st[obj] = resEntry{acqPos: call.Pos()}
+		}
+	}
+}
+
+func (r *consumeRule) acquireValueSpec(pass *Pass, st rstate, vs *ast.ValueSpec, escapes func(types.Object) bool) {
+	if len(vs.Names) != len(vs.Values) {
+		return
+	}
+	for i, v := range vs.Values {
+		call, ok := v.(*ast.CallExpr)
+		if !ok || !r.isAcquire(pass, call) {
+			continue
+		}
+		obj := pass.Info.Defs[vs.Names[i]]
+		if obj == nil || !r.isResourceType(obj.Type()) || escapes(obj) {
+			continue
+		}
+		st[obj] = resEntry{acqPos: call.Pos()}
+	}
+}
+
+// edgeState applies branch-condition facts to a state crossing an
+// edge: on the side of an `err != nil` / `err == nil` check where the
+// error is known non-nil, resources paired with that error are nil by
+// the acquiring API's contract and carry no obligation.
+func (r *consumeRule) edgeState(pass *Pass, st rstate, edge cfgEdge) rstate {
+	if !r.pairErr || edge.cond == nil {
+		return st
+	}
+	op := token.NEQ
+	if edge.negate {
+		op = token.EQL
+	}
+	errObj := guardedErr(pass, edge.cond, op)
+	if errObj == nil {
+		return st
+	}
+	var dropped rstate
+	for obj, e := range st { //lint:commutative — filtered copy
+		if e.errObj == errObj {
+			if dropped == nil {
+				dropped = cloneState(st)
+			}
+			delete(dropped, obj)
+		}
+	}
+	if dropped != nil {
+		return dropped
+	}
+	return st
+}
+
+// reportDiscards flags acquisitions whose handle is thrown away —
+// statement position or a blank identifier — so no path can ever
+// consume them. The scan covers every block (even unreachable ones)
+// in creation order.
+func (r *consumeRule) reportDiscards(pass *Pass, g *funcCFG) {
+	for _, blk := range g.blocks {
+		for _, s := range blk.stmts {
+			switch s := s.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok && r.isAcquire(pass, call) {
+					pass.Reportf(call.Pos(), "%s", r.discardMsg)
+				}
+			case *ast.AssignStmt:
+				if len(s.Lhs) == len(s.Rhs) {
+					for i, rhs := range s.Rhs {
+						call, ok := rhs.(*ast.CallExpr)
+						if !ok || !r.isAcquire(pass, call) {
+							continue
+						}
+						if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							pass.Reportf(call.Pos(), "%s", r.discardMsg)
+						}
+					}
+					continue
+				}
+				if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+					call, ok := s.Rhs[0].(*ast.CallExpr)
+					if !ok || !r.isAcquire(pass, call) {
+						continue
+					}
+					tv, ok := pass.Info.Types[call]
+					if !ok {
+						continue
+					}
+					tuple, ok := tv.Type.(*types.Tuple)
+					if !ok || tuple.Len() != len(s.Lhs) {
+						continue
+					}
+					for i, l := range s.Lhs {
+						id, ok := l.(*ast.Ident)
+						if !ok || id.Name != "_" {
+							continue
+						}
+						if r.isResourceType(tuple.At(i).Type()) {
+							pass.Reportf(call.Pos(), "%s", r.discardMsg)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// guardedErr returns the error object when cond has the shape
+// `<errVar> <op> nil` for the requested operator.
+func guardedErr(pass *Pass, cond ast.Expr, op token.Token) types.Object {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != op {
+		return nil
+	}
+	var id *ast.Ident
+	switch {
+	case isNilIdent(be.Y):
+		id, _ = be.X.(*ast.Ident)
+	case isNilIdent(be.X):
+		id, _ = be.Y.(*ast.Ident)
+	}
+	if id == nil {
+		return nil
+	}
+	obj := objOf(pass, id)
+	if obj == nil || !isErrorType(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// escapeOpts tunes the shared ownership-escape scan.
+type escapeOpts struct {
+	allowNilCompare bool // x == nil / x != nil is a read, not a transfer
+	allowCallFun    bool // x() in function position consumes, not transfers
+}
+
+// escapesWith reports whether obj is used outside the allowed read
+// positions anywhere in body — returned, stored, passed as an
+// argument, sent on a channel. Such uses transfer ownership (and the
+// consumption obligation) with them, so the local check stands down.
+// Always allowed: selector-receiver position (x.M(), x.Field) and the
+// left-hand side of assignments.
+func escapesWith(pass *Pass, body *ast.BlockStmt, obj types.Object, o escapeOpts) bool {
+	allowed := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := n.X.(*ast.Ident); ok {
+				allowed[id] = true
+			}
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if id, ok := l.(*ast.Ident); ok {
+					allowed[id] = true
+				}
+			}
+		case *ast.BinaryExpr:
+			if o.allowNilCompare && (isNilIdent(n.X) || isNilIdent(n.Y)) {
+				if id, ok := n.X.(*ast.Ident); ok {
+					allowed[id] = true
+				}
+				if id, ok := n.Y.(*ast.Ident); ok {
+					allowed[id] = true
+				}
+			}
+		case *ast.CallExpr:
+			if o.allowCallFun {
+				if id, ok := n.Fun.(*ast.Ident); ok {
+					allowed[id] = true
+				}
+			}
+		}
+		return true
+	})
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || escaped || objOf(pass, id) != obj {
+			return true
+		}
+		if !allowed[id] {
+			escaped = true
+		}
+		return true
+	})
+	return escaped
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Errcmp flags error comparisons that break under wrapping: `err ==
+// sentinel` / `err != sentinel` instead of errors.Is, and bare type
+// assertions (`err.(*T)`, `switch err.(type)`) instead of errors.As.
+// The motivating bug is PR 8's cluster health flapping — `retryable()`
+// compared errors with `==` while http.Client.Do wraps a canceled
+// context in *url.Error, so context.Canceled was never recognized and
+// healthy backends were marked down. Any code path that receives an
+// error through even one fmt.Errorf("%w") or library boundary has the
+// same hazard.
+//
+// Exemptions:
+//
+//   - nil checks (`err == nil`, `err != nil`) — the universal idiom,
+//     not a sentinel comparison;
+//   - comparisons against package-level error variables declared in the
+//     package under analysis (the sentinel-return idiom: a package may
+//     guarantee its own sentinels are returned unwrapped, and its
+//     internal equality checks are part of that contract);
+//   - `//lint:allow errcmp <why>` for deliberate identity comparisons
+//     across package boundaries.
+var Errcmp = &Analyzer{
+	Name: "errcmp",
+	Doc:  "error values must be compared with errors.Is/errors.As, not == or type asserts",
+	Run:  runErrcmp,
+}
+
+func runErrcmp(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrCompare(pass, n)
+			case *ast.TypeAssertExpr:
+				// n.Type == nil is the `switch err.(type)` guard, reported
+				// at the switch below with its own message.
+				if n.Type != nil && isErrorType(exprType(pass, n.X)) {
+					pass.Reportf(n.Pos(),
+						"type assertion on an error value does not see through wrapped errors; use errors.As")
+				}
+			case *ast.TypeSwitchStmt:
+				if ta := typeSwitchAssert(n); ta != nil && isErrorType(exprType(pass, ta.X)) {
+					pass.Reportf(n.Pos(),
+						"type switch on an error value does not see through wrapped errors; use errors.As per case")
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isErrorType(exprType(pass, n.Tag)) {
+					pass.Reportf(n.Pos(),
+						"switch on an error value compares with == and does not see through wrapped errors; use errors.Is per case")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrCompare flags ==/!= where either operand is an error, unless
+// the other side is nil or a same-package sentinel.
+func checkErrCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if !isErrorType(exprType(pass, be.X)) && !isErrorType(exprType(pass, be.Y)) {
+		return
+	}
+	if isNilIdent(be.X) || isNilIdent(be.Y) {
+		return
+	}
+	if isOwnSentinel(pass, be.X) || isOwnSentinel(pass, be.Y) {
+		return
+	}
+	op := "=="
+	if be.Op == token.NEQ {
+		op = "!="
+	}
+	pass.Reportf(be.Pos(),
+		"error compared with %s does not see through wrapped errors; use errors.Is", op)
+}
+
+// isOwnSentinel reports whether e names a package-level error variable
+// declared in the package being analyzed. Comparing against one's own
+// sentinel is the sentinel-return idiom: the package controls every
+// return site and can guarantee the value is never wrapped.
+func isOwnSentinel(pass *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := objOf(pass, id).(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg() != pass.Pkg {
+		return false
+	}
+	// Package-level variables have package scope as their parent.
+	return v.Parent() == v.Pkg().Scope()
+}
+
+// typeSwitchAssert digs the x.(type) expression out of a type switch's
+// assign statement (`switch v := x.(type)` or `switch x.(type)`).
+func typeSwitchAssert(s *ast.TypeSwitchStmt) *ast.TypeAssertExpr {
+	switch a := s.Assign.(type) {
+	case *ast.ExprStmt:
+		ta, _ := a.X.(*ast.TypeAssertExpr)
+		return ta
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			ta, _ := a.Rhs[0].(*ast.TypeAssertExpr)
+			return ta
+		}
+	}
+	return nil
+}
+
+// exprType returns the static type of e, or nil.
+func exprType(pass *Pass, e ast.Expr) types.Type {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}

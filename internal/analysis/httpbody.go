@@ -14,13 +14,13 @@ import (
 // pool — so a frontend fanning thousands of calls across its backends
 // leaks sockets until the fleet wedges.
 //
-// Like spanhygiene, the check is a conservative lexical walk rather
-// than a full CFG. It tracks responses bound to local variables,
-// accepts resp.Body.Close() directly, deferred, or inside a deferred
-// closure, branch-merges if/switch arms pessimistically, and exempts
+// Like spanhygiene, the check is an instance of the shared must-reach
+// dataflow engine (dataflow.go) over the per-function CFG (cfg.go). It
+// tracks responses bound to local variables, accepts resp.Body.Close()
+// directly, deferred, or inside a deferred closure, and exempts
 // responses that escape (returned, stored, or passed along — ownership
 // transfers with them). The standard acquisition idiom is understood:
-// inside a branch guarded by the error paired at acquisition
+// on the branch edge where the acquisition's paired error is non-nil
 // (`resp, err := c.Do(req); if err != nil { ... }`) the response is nil
 // by the http.Client contract and needs no Close. Suppress a deliberate
 // exception with //lint:allow httpbody.
@@ -30,326 +30,38 @@ var Httpbody = &Analyzer{
 	Run:  runHttpbody,
 }
 
-func runHttpbody(pass *Pass) error {
-	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			var body *ast.BlockStmt
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
-				body = fn.Body
-			case *ast.FuncLit:
-				body = fn.Body
-			default:
-				return true
-			}
-			if body != nil {
-				w := &bodyWalker{pass: pass, body: body, reported: map[types.Object]bool{}}
-				st := newBodyState()
-				w.walkStmts(body.List, st, token.NoPos)
-				w.reportOpen(st, body.End(), "function end")
-			}
-			return true
-		})
-	}
-	return nil
-}
-
-// acquisition records where a response variable was bound and which
-// error variable (if any) was assigned alongside it.
-type acquisition struct {
-	pos    token.Pos
-	errObj types.Object
-}
-
-type bodyState struct {
-	open     map[types.Object]acquisition
-	deferred map[types.Object]bool
-}
-
-func newBodyState() *bodyState {
-	return &bodyState{open: map[types.Object]acquisition{}, deferred: map[types.Object]bool{}}
-}
-
-func (st *bodyState) clone() *bodyState {
-	c := newBodyState()
-	for k, v := range st.open { //lint:commutative — map copy
-		c.open[k] = v
-	}
-	for k := range st.deferred { //lint:commutative — map copy
-		c.deferred[k] = true
-	}
-	return c
-}
-
-// mergeBodyStates folds sibling branch end-states: a response stays
-// open unless every branch closed it, and a defer counts only when
-// every branch registered it.
-func mergeBodyStates(branches []*bodyState) *bodyState {
-	out := newBodyState()
-	for _, b := range branches {
-		for obj, acq := range b.open { //lint:commutative — set union
-			out.open[obj] = acq
-		}
-	}
-	if len(branches) > 0 {
-		for obj := range branches[0].deferred { //lint:commutative — set intersection
-			all := true
-			for _, b := range branches[1:] {
-				if !b.deferred[obj] {
-					all = false
-					break
-				}
-			}
-			if all {
-				out.deferred[obj] = true
-			}
-		}
-	}
-	return out
-}
-
-type bodyWalker struct {
-	pass     *Pass
-	body     *ast.BlockStmt
-	reported map[types.Object]bool
-}
-
-func (w *bodyWalker) walkStmts(list []ast.Stmt, st *bodyState, loopStart token.Pos) {
-	for _, s := range list {
-		w.walkStmt(s, st, loopStart)
-	}
-}
-
-func (w *bodyWalker) walkStmt(s ast.Stmt, st *bodyState, loopStart token.Pos) {
-	switch s := s.(type) {
-	case *ast.AssignStmt:
-		w.trackAssign(s, st)
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if obj := w.closedObj(call); obj != nil {
-				delete(st.open, obj)
-			}
-		}
-	case *ast.DeferStmt:
-		if obj := w.closedObj(s.Call); obj != nil {
-			delete(st.open, obj)
-			st.deferred[obj] = true
-		}
-		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			// defer func() { ...; resp.Body.Close(); ... }() — a Close
-			// anywhere in the deferred closure covers all later paths.
-			ast.Inspect(lit.Body, func(n ast.Node) bool {
-				if call, ok := n.(*ast.CallExpr); ok {
-					if obj := w.closedObj(call); obj != nil {
-						delete(st.open, obj)
-						st.deferred[obj] = true
-					}
-				}
-				return true
-			})
-		}
-	case *ast.ReturnStmt:
-		w.reportOpen(st, s.Pos(), "this return")
-	case *ast.BranchStmt:
-		if (s.Tok == token.BREAK || s.Tok == token.CONTINUE) && loopStart.IsValid() {
-			w.reportLoopOpen(st, s.Pos(), loopStart)
-		}
-	case *ast.IfStmt:
-		if s.Init != nil {
-			w.walkStmt(s.Init, st, loopStart)
-		}
-		a := st.clone()
-		b := st.clone() // the else arm, or fall-through when absent
-		// The error-guard idiom: in the branch where the acquisition's
-		// paired error is non-nil, the response is nil (http.Client
-		// contract) and there is nothing to close.
-		if errObj := guardedErr(w.pass, s.Cond, token.NEQ); errObj != nil {
-			dropPaired(a, errObj)
-		}
-		if errObj := guardedErr(w.pass, s.Cond, token.EQL); errObj != nil {
-			dropPaired(b, errObj) // `if err == nil`: the else side is the error side
-		}
-		w.walkStmts(s.Body.List, a, loopStart)
-		if s.Else != nil {
-			w.walkStmt(s.Else, b, loopStart)
-		}
-		m := mergeBodyStates([]*bodyState{a, b})
-		st.open, st.deferred = m.open, m.deferred
-	case *ast.ForStmt:
-		if s.Init != nil {
-			w.walkStmt(s.Init, st, loopStart)
-		}
-		inner := st.clone()
-		w.walkStmts(s.Body.List, inner, s.Body.Pos())
-		w.reportLoopOpen(inner, s.Body.End(), s.Body.Pos())
-	case *ast.RangeStmt:
-		inner := st.clone()
-		w.walkStmts(s.Body.List, inner, s.Body.Pos())
-		w.reportLoopOpen(inner, s.Body.End(), s.Body.Pos())
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		var clauses []ast.Stmt
-		hasDefault := false
-		switch s := s.(type) {
-		case *ast.SwitchStmt:
-			clauses = s.Body.List
-		case *ast.TypeSwitchStmt:
-			clauses = s.Body.List
-		case *ast.SelectStmt:
-			clauses = s.Body.List
-		}
-		var bodies []*bodyState
-		for _, c := range clauses {
-			b := st.clone()
-			switch c := c.(type) {
-			case *ast.CaseClause:
-				if c.List == nil {
-					hasDefault = true
-				}
-				w.walkStmts(c.Body, b, loopStart)
-			case *ast.CommClause:
-				if c.Comm == nil {
-					hasDefault = true
-				}
-				w.walkStmts(c.Body, b, loopStart)
-			}
-			bodies = append(bodies, b)
-		}
-		if !hasDefault {
-			bodies = append(bodies, st.clone())
-		}
-		if len(bodies) > 0 {
-			m := mergeBodyStates(bodies)
-			st.open, st.deferred = m.open, m.deferred
-		}
-	case *ast.BlockStmt:
-		w.walkStmts(s.List, st, loopStart)
-	case *ast.LabeledStmt:
-		w.walkStmt(s.Stmt, st, loopStart)
-	}
-}
-
-// trackAssign records response variables bound by an assignment, pairing
-// each with the error variable assigned in the same statement (tuple
-// form `resp, err := c.Do(req)` or element-wise assignments).
-func (w *bodyWalker) trackAssign(s *ast.AssignStmt, st *bodyState) {
-	// Tuple form: one call on the right, several names on the left.
-	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
-		call, ok := s.Rhs[0].(*ast.CallExpr)
-		if !ok || !returnsResponse(w.pass, call) {
-			return
-		}
-		var errObj types.Object
-		for _, l := range s.Lhs {
-			if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
-				if obj := objOf(w.pass, id); obj != nil && isErrorType(obj.Type()) {
-					errObj = obj
-				}
-			}
-		}
-		for _, l := range s.Lhs {
-			id, ok := l.(*ast.Ident)
-			if !ok || id.Name == "_" {
-				continue
-			}
-			obj := objOf(w.pass, id)
-			if obj == nil || !isResponsePtr(obj.Type()) || w.escapes(obj) {
-				continue
-			}
-			st.open[obj] = acquisition{pos: call.Pos(), errObj: errObj}
-			delete(st.deferred, obj)
-		}
-		return
-	}
-	// Element-wise form: resp := mustGet(...) and friends.
-	if len(s.Lhs) == len(s.Rhs) {
-		for i, rhs := range s.Rhs {
-			call, ok := rhs.(*ast.CallExpr)
-			if !ok || !returnsResponse(w.pass, call) {
-				continue
-			}
-			id, ok := s.Lhs[i].(*ast.Ident)
-			if !ok || id.Name == "_" {
-				continue
-			}
-			obj := objOf(w.pass, id)
-			if obj == nil || !isResponsePtr(obj.Type()) || w.escapes(obj) {
-				continue
-			}
-			st.open[obj] = acquisition{pos: call.Pos()}
-			delete(st.deferred, obj)
-		}
-	}
-}
-
-// guardedErr returns the error object when cond has the shape
-// `<errVar> <op> nil` for the requested operator.
-func guardedErr(pass *Pass, cond ast.Expr, op token.Token) types.Object {
-	be, ok := cond.(*ast.BinaryExpr)
-	if !ok || be.Op != op {
-		return nil
-	}
-	var id *ast.Ident
-	switch {
-	case isNilIdent(be.Y):
-		id, _ = be.X.(*ast.Ident)
-	case isNilIdent(be.X):
-		id, _ = be.Y.(*ast.Ident)
-	}
-	if id == nil {
-		return nil
-	}
-	obj := objOf(pass, id)
-	if obj == nil || !isErrorType(obj.Type()) {
-		return nil
-	}
-	return obj
-}
-
-func isNilIdent(e ast.Expr) bool {
-	id, ok := e.(*ast.Ident)
-	return ok && id.Name == "nil"
-}
-
-// dropPaired removes every open response whose acquisition paired it
-// with errObj.
-func dropPaired(st *bodyState, errObj types.Object) {
-	for obj, acq := range st.open { //lint:commutative — filtered deletion, order-free
-		if acq.errObj == errObj {
-			delete(st.open, obj)
-		}
-	}
-}
-
-// reportOpen flags every tracked response still open at an exit point.
-func (w *bodyWalker) reportOpen(st *bodyState, at token.Pos, where string) {
-	for obj, acq := range st.open { //lint:commutative — dedup via w.reported; diagnostics sorted by the driver
-		if st.deferred[obj] || w.reported[obj] {
-			continue
-		}
-		w.reported[obj] = true
-		w.pass.Reportf(acq.pos,
+var httpbodyRule = &consumeRule{
+	isAcquire:      returnsResponse,
+	isResourceType: isResponsePtr,
+	consumes:       closedBodyObj,
+	pairErr:        true,
+	escapes: func(p *Pass, body *ast.BlockStmt, obj types.Object) bool {
+		return escapesWith(p, body, obj, escapeOpts{allowNilCompare: true})
+	},
+	reportExit: func(p *Pass, obj types.Object, acq token.Pos, at token.Position, where string) {
+		p.Reportf(acq,
 			"response body %s.Body is not closed on every path (leaks at %s, %s); add defer %s.Body.Close() after the error check",
-			obj.Name(), w.pass.Fset.Position(at), where, obj.Name())
-	}
-}
-
-// reportLoopOpen flags responses acquired in the current loop body that
-// are still open when the iteration can end.
-func (w *bodyWalker) reportLoopOpen(st *bodyState, at token.Pos, loopStart token.Pos) {
-	for obj, acq := range st.open { //lint:commutative — dedup via w.reported; diagnostics sorted by the driver
-		if acq.pos < loopStart || st.deferred[obj] || w.reported[obj] {
-			continue
-		}
-		w.reported[obj] = true
-		w.pass.Reportf(acq.pos,
+			obj.Name(), at, where, obj.Name())
+	},
+	reportLoop: func(p *Pass, obj types.Object, acq token.Pos, at token.Position) {
+		p.Reportf(acq,
 			"response body %s.Body acquired in a loop is not closed by %s; close it before the iteration ends",
-			obj.Name(), w.pass.Fset.Position(at))
-	}
+			obj.Name(), at)
+	},
+	reportDeferLoop: func(p *Pass, obj types.Object, acq token.Pos, at token.Position) {
+		p.Reportf(acq,
+			"response body %s.Body acquired in a loop is closed only by a defer registered in the same iteration; defers run at function return, not at the iteration end (%s) — close it directly before the iteration ends",
+			obj.Name(), at)
+	},
 }
 
-// closedObj returns the response variable a call closes via
+func runHttpbody(pass *Pass) error {
+	return httpbodyRule.run(pass)
+}
+
+// closedBodyObj returns the response variable a call closes via
 // <resp>.Body.Close(), if any.
-func (w *bodyWalker) closedObj(call *ast.CallExpr) types.Object {
+func closedBodyObj(pass *Pass, call *ast.CallExpr) types.Object {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || sel.Sel.Name != "Close" {
 		return nil
@@ -362,7 +74,7 @@ func (w *bodyWalker) closedObj(call *ast.CallExpr) types.Object {
 	if !ok {
 		return nil
 	}
-	obj := objOf(w.pass, id)
+	obj := objOf(pass, id)
 	if obj == nil || !isResponsePtr(obj.Type()) {
 		return nil
 	}
@@ -406,50 +118,4 @@ func isResponsePtr(t types.Type) bool {
 func isErrorType(t types.Type) bool {
 	named, ok := t.(*types.Named)
 	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
-}
-
-// escapes reports whether the response object is used outside selector
-// position in this function — returned, stored elsewhere, or passed
-// along. Such responses transfer ownership to the consumer.
-func (w *bodyWalker) escapes(obj types.Object) bool {
-	recv := map[*ast.Ident]bool{}
-	lhs := map[*ast.Ident]bool{}
-	cmp := map[*ast.Ident]bool{}
-	ast.Inspect(w.body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.SelectorExpr:
-			if id, ok := n.X.(*ast.Ident); ok {
-				recv[id] = true
-			}
-		case *ast.AssignStmt:
-			for _, l := range n.Lhs {
-				if id, ok := l.(*ast.Ident); ok {
-					lhs[id] = true
-				}
-			}
-		case *ast.BinaryExpr:
-			// Nil checks (`resp != nil`) are reads, not transfers.
-			if isNilIdent(n.X) || isNilIdent(n.Y) {
-				if id, ok := n.X.(*ast.Ident); ok {
-					cmp[id] = true
-				}
-				if id, ok := n.Y.(*ast.Ident); ok {
-					cmp[id] = true
-				}
-			}
-		}
-		return true
-	})
-	escaped := false
-	ast.Inspect(w.body, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok || escaped || objOf(w.pass, id) != obj {
-			return true
-		}
-		if !recv[id] && !lhs[id] && !cmp[id] {
-			escaped = true
-		}
-		return true
-	})
-	return escaped
 }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -26,6 +27,7 @@ type Package struct {
 	Info  *types.Info
 
 	directives directiveIndex
+	cfgs       map[*ast.BlockStmt]*funcCFG // shared per-function CFG cache (cfg.go)
 }
 
 // Loader enumerates packages with `go list -deps -json` and
@@ -125,7 +127,7 @@ func (l *Loader) goList(patterns []string) ([]*listPkg, error) {
 	dec := json.NewDecoder(out)
 	for {
 		lp := &listPkg{}
-		if err := dec.Decode(lp); err == io.EOF {
+		if err := dec.Decode(lp); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			_ = cmd.Wait()

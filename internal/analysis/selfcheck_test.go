@@ -9,12 +9,15 @@ import (
 	"smartndr/internal/analysis"
 )
 
-// TestRepoIsLintClean runs all six analyzers over the whole module and
-// asserts zero diagnostics — the repo must stay clean so that `make
-// lint` (and CI) only ever fails on a genuine regression.
+// TestRepoIsLintClean runs the full ten-analyzer suite over the whole
+// module and asserts zero diagnostics — the repo must stay clean so
+// that `make lint` (and CI) only ever fails on a genuine regression.
 func TestRepoIsLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loading the full module closure is not short")
+	}
+	if n := len(analysis.All()); n != 10 {
+		t.Fatalf("self-check must run all 10 analyzers, All() returned %d", n)
 	}
 	root, err := moduleRoot()
 	if err != nil {

@@ -19,42 +19,75 @@ import (
 //     Span.Start, whose implicit innermost-open-span nesting races
 //     across goroutines.
 //
-// The End check is a conservative lexical walk, not a full CFG: it
-// tracks spans bound to local variables, accepts `defer sp.End()`
-// (directly or inside a deferred closure) as ending every later path,
-// branch-merges if/switch arms pessimistically (a span is closed after
-// a branch only if every arm closed it), and gives up on spans that
-// escape the function (returned, stored, or passed as an argument).
-// Suppress a deliberate exception with //lint:allow spanhygiene.
+// The End check is an instance of the shared must-reach dataflow
+// engine (dataflow.go) over the per-function CFG (cfg.go): it tracks
+// spans bound to local variables, accepts `defer sp.End()` (directly
+// or inside a deferred closure) as ending every function exit, checks
+// loop iterations separately — a defer registered inside the loop body
+// does not run until function return, so it cannot cover iteration
+// ends — and gives up on spans that escape the function (returned,
+// stored, or passed as an argument). Suppress a deliberate exception
+// with //lint:allow spanhygiene.
 var Spanhygiene = &Analyzer{
 	Name: "spanhygiene",
 	Doc:  "obs spans must End on all paths; concurrent code must use Span.Child",
 	Run:  runSpanhygiene,
 }
 
+var spanRule = &consumeRule{
+	isAcquire:      isSpanOpen,
+	isResourceType: func(t types.Type) bool { return true }, // isAcquire is shape-exact; any bound handle counts
+	consumes:       spanEndedObj,
+	escapes: func(p *Pass, body *ast.BlockStmt, obj types.Object) bool {
+		return escapesWith(p, body, obj, escapeOpts{})
+	},
+	discardMsg: "span is opened but its handle is discarded, so it can never be Ended",
+	reportExit: func(p *Pass, obj types.Object, acq token.Pos, at token.Position, where string) {
+		p.Reportf(acq, "span %s is not Ended on every path (leaks at %s, %s); add defer %s.End() or End it before the exit",
+			obj.Name(), at, where, obj.Name())
+	},
+	reportLoop: func(p *Pass, obj types.Object, acq token.Pos, at token.Position) {
+		p.Reportf(acq, "span %s opened in a loop body is not Ended by %s; End it before the iteration ends",
+			obj.Name(), at)
+	},
+	reportDeferLoop: func(p *Pass, obj types.Object, acq token.Pos, at token.Position) {
+		p.Reportf(acq, "span %s opened in a loop body is Ended only by a defer registered in the same iteration; defers run at function return, not at the iteration end (%s) — End it directly before the iteration ends",
+			obj.Name(), at)
+	},
+}
+
 func runSpanhygiene(pass *Pass) error {
 	for _, file := range pass.Files {
 		checkConcurrentStarts(pass, file)
-		ast.Inspect(file, func(n ast.Node) bool {
-			var body *ast.BlockStmt
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
-				body = fn.Body
-			case *ast.FuncLit:
-				body = fn.Body
-			default:
-				return true
-			}
-			if body != nil {
-				w := &hygieneWalker{pass: pass, body: body, reported: map[types.Object]bool{}}
-				st := &hygieneState{open: map[types.Object]token.Pos{}, deferred: map[types.Object]bool{}}
-				w.walkStmts(body.List, st, token.NoPos)
-				w.reportOpen(st, body.End(), "function end")
-			}
-			return true
-		})
 	}
-	return nil
+	return spanRule.run(pass)
+}
+
+// isSpanOpen reports whether call opens an obs span.
+func isSpanOpen(pass *Pass, call *ast.CallExpr) bool {
+	pkg, typ, method := methodOn(pass.Info, call)
+	if pathBase(pkg) != "obs" {
+		return false
+	}
+	return (typ == "Tracer" && method == "Start") ||
+		(typ == "Span" && (method == "Start" || method == "Child"))
+}
+
+// spanEndedObj returns the span variable a call Ends, if any.
+func spanEndedObj(pass *Pass, call *ast.CallExpr) types.Object {
+	pkg, typ, method := methodOn(pass.Info, call)
+	if pathBase(pkg) != "obs" || typ != "Span" || method != "End" {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return objOf(pass, id)
 }
 
 // --- rule 2: ambient Start in concurrent code ---
@@ -103,294 +136,4 @@ func checkConcurrentStarts(pass *Pass, file *ast.File) {
 		}
 		return true
 	})
-}
-
-// --- rule 1: End on every path ---
-
-type hygieneState struct {
-	open     map[types.Object]token.Pos // span var → open position
-	deferred map[types.Object]bool      // satisfied by a registered defer
-}
-
-func (st *hygieneState) clone() *hygieneState {
-	c := &hygieneState{
-		open:     make(map[types.Object]token.Pos, len(st.open)),
-		deferred: make(map[types.Object]bool, len(st.deferred)),
-	}
-	for k, v := range st.open { //lint:commutative — map copy
-		c.open[k] = v
-	}
-	for k := range st.deferred { //lint:commutative — map copy
-		c.deferred[k] = true
-	}
-	return c
-}
-
-// mergeBranches folds sibling branch end-states into one: a span stays
-// open unless every branch left it closed (must-close), and a defer
-// counts only if every branch registered it (must-defer). Pessimism
-// here means a span closed on only some arms is still reported at the
-// next exit — exactly the all-paths contract.
-func mergeBranches(branches []*hygieneState) *hygieneState {
-	out := &hygieneState{open: map[types.Object]token.Pos{}, deferred: map[types.Object]bool{}}
-	for _, b := range branches {
-		for obj, pos := range b.open { //lint:commutative — set union
-			out.open[obj] = pos
-		}
-	}
-	if len(branches) > 0 {
-		for obj := range branches[0].deferred { //lint:commutative — set intersection
-			all := true
-			for _, b := range branches[1:] {
-				if !b.deferred[obj] {
-					all = false
-					break
-				}
-			}
-			if all {
-				out.deferred[obj] = true
-			}
-		}
-	}
-	return out
-}
-
-type hygieneWalker struct {
-	pass     *Pass
-	body     *ast.BlockStmt
-	reported map[types.Object]bool
-}
-
-func (w *hygieneWalker) walkStmts(list []ast.Stmt, st *hygieneState, loopStart token.Pos) {
-	for _, s := range list {
-		w.walkStmt(s, st, loopStart)
-	}
-}
-
-func (w *hygieneWalker) walkStmt(s ast.Stmt, st *hygieneState, loopStart token.Pos) {
-	switch s := s.(type) {
-	case *ast.AssignStmt:
-		if len(s.Lhs) == len(s.Rhs) {
-			for i, rhs := range s.Rhs {
-				call, ok := rhs.(*ast.CallExpr)
-				if !ok || !w.isOpen(call) {
-					continue
-				}
-				id, ok := s.Lhs[i].(*ast.Ident)
-				if !ok || id.Name == "_" {
-					w.pass.Reportf(call.Pos(), "span is opened but its handle is discarded, so it can never be Ended")
-					continue
-				}
-				obj := objOf(w.pass, id)
-				if obj == nil || w.escapes(obj) {
-					continue
-				}
-				st.open[obj] = call.Pos()
-				delete(st.deferred, obj)
-			}
-		}
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
-				if !ok || len(vs.Names) != len(vs.Values) {
-					continue
-				}
-				for i, v := range vs.Values {
-					call, ok := v.(*ast.CallExpr)
-					if !ok || !w.isOpen(call) {
-						continue
-					}
-					obj := w.pass.Info.Defs[vs.Names[i]]
-					if obj == nil || w.escapes(obj) {
-						continue
-					}
-					st.open[obj] = call.Pos()
-				}
-			}
-		}
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if w.isOpen(call) {
-				w.pass.Reportf(call.Pos(), "span is opened but its handle is discarded, so it can never be Ended")
-			}
-			if obj := w.endedObj(call); obj != nil {
-				delete(st.open, obj)
-			}
-		}
-	case *ast.DeferStmt:
-		if obj := w.endedObj(s.Call); obj != nil {
-			delete(st.open, obj)
-			st.deferred[obj] = true
-		}
-		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			// defer func() { ...; sp.End(); ... }() — every span Ended
-			// anywhere in the deferred closure is covered on all paths.
-			ast.Inspect(lit.Body, func(n ast.Node) bool {
-				if call, ok := n.(*ast.CallExpr); ok {
-					if obj := w.endedObj(call); obj != nil {
-						delete(st.open, obj)
-						st.deferred[obj] = true
-					}
-				}
-				return true
-			})
-		}
-	case *ast.ReturnStmt:
-		w.reportOpen(st, s.Pos(), "this return")
-	case *ast.BranchStmt:
-		if (s.Tok == token.BREAK || s.Tok == token.CONTINUE) && loopStart.IsValid() {
-			w.reportLoopOpen(st, s.Pos(), loopStart)
-		}
-	case *ast.IfStmt:
-		if s.Init != nil {
-			w.walkStmt(s.Init, st, loopStart)
-		}
-		a := st.clone()
-		w.walkStmts(s.Body.List, a, loopStart)
-		b := st.clone() // the else arm, or fall-through when absent
-		if s.Else != nil {
-			w.walkStmt(s.Else, b, loopStart)
-		}
-		m := mergeBranches([]*hygieneState{a, b})
-		st.open, st.deferred = m.open, m.deferred
-	case *ast.ForStmt:
-		if s.Init != nil {
-			w.walkStmt(s.Init, st, loopStart)
-		}
-		inner := st.clone()
-		w.walkStmts(s.Body.List, inner, s.Body.Pos())
-		w.reportLoopOpen(inner, s.Body.End(), s.Body.Pos())
-	case *ast.RangeStmt:
-		inner := st.clone()
-		w.walkStmts(s.Body.List, inner, s.Body.Pos())
-		w.reportLoopOpen(inner, s.Body.End(), s.Body.Pos())
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		var clauses []ast.Stmt
-		hasDefault := false
-		switch s := s.(type) {
-		case *ast.SwitchStmt:
-			clauses = s.Body.List
-		case *ast.TypeSwitchStmt:
-			clauses = s.Body.List
-		case *ast.SelectStmt:
-			clauses = s.Body.List
-		}
-		var bodies []*hygieneState
-		for _, c := range clauses {
-			b := st.clone()
-			switch c := c.(type) {
-			case *ast.CaseClause:
-				if c.List == nil {
-					hasDefault = true
-				}
-				w.walkStmts(c.Body, b, loopStart)
-			case *ast.CommClause:
-				if c.Comm == nil {
-					hasDefault = true
-				}
-				w.walkStmts(c.Body, b, loopStart)
-			}
-			bodies = append(bodies, b)
-		}
-		if !hasDefault {
-			bodies = append(bodies, st.clone()) // no-case-taken fall-through
-		}
-		if len(bodies) > 0 {
-			m := mergeBranches(bodies)
-			st.open, st.deferred = m.open, m.deferred
-		}
-	case *ast.BlockStmt:
-		w.walkStmts(s.List, st, loopStart)
-	case *ast.LabeledStmt:
-		w.walkStmt(s.Stmt, st, loopStart)
-	}
-}
-
-// reportOpen flags every tracked span still open at an exit point.
-func (w *hygieneWalker) reportOpen(st *hygieneState, at token.Pos, where string) {
-	for obj, pos := range st.open { //lint:commutative — dedup via w.reported; diagnostics sorted by the driver
-		if st.deferred[obj] || w.reported[obj] {
-			continue
-		}
-		w.reported[obj] = true
-		w.pass.Reportf(pos, "span %s is not Ended on every path (leaks at %s, %s); add defer %s.End() or End it before the exit",
-			obj.Name(), w.pass.Fset.Position(at), where, obj.Name())
-	}
-}
-
-// reportLoopOpen flags spans opened inside the current loop body that
-// are still open when the iteration can end — the next iteration would
-// open a fresh span while this one leaks.
-func (w *hygieneWalker) reportLoopOpen(st *hygieneState, at token.Pos, loopStart token.Pos) {
-	for obj, pos := range st.open { //lint:commutative — dedup via w.reported; diagnostics sorted by the driver
-		if pos < loopStart || st.deferred[obj] || w.reported[obj] {
-			continue
-		}
-		w.reported[obj] = true
-		w.pass.Reportf(pos, "span %s opened in a loop body is not Ended by %s; End it before the iteration ends",
-			obj.Name(), w.pass.Fset.Position(at))
-	}
-}
-
-// isOpen reports whether call opens an obs span.
-func (w *hygieneWalker) isOpen(call *ast.CallExpr) bool {
-	pkg, typ, method := methodOn(w.pass.Info, call)
-	if pathBase(pkg) != "obs" {
-		return false
-	}
-	return (typ == "Tracer" && method == "Start") ||
-		(typ == "Span" && (method == "Start" || method == "Child"))
-}
-
-// endedObj returns the span variable a call Ends, if any.
-func (w *hygieneWalker) endedObj(call *ast.CallExpr) types.Object {
-	pkg, typ, method := methodOn(w.pass.Info, call)
-	if pathBase(pkg) != "obs" || typ != "Span" || method != "End" {
-		return nil
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return nil
-	}
-	id, ok := sel.X.(*ast.Ident)
-	if !ok {
-		return nil
-	}
-	return objOf(w.pass, id)
-}
-
-// escapes reports whether the span object is used outside receiver
-// position in this function — returned, stored, or passed along. Such
-// spans transfer ownership and are exempt from the local End check.
-func (w *hygieneWalker) escapes(obj types.Object) bool {
-	recv := map[*ast.Ident]bool{}
-	lhs := map[*ast.Ident]bool{}
-	ast.Inspect(w.body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.SelectorExpr:
-			if id, ok := n.X.(*ast.Ident); ok {
-				recv[id] = true
-			}
-		case *ast.AssignStmt:
-			for _, l := range n.Lhs {
-				if id, ok := l.(*ast.Ident); ok {
-					lhs[id] = true
-				}
-			}
-		}
-		return true
-	})
-	escaped := false
-	ast.Inspect(w.body, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok || escaped || objOf(w.pass, id) != obj {
-			return true
-		}
-		if !recv[id] && !lhs[id] {
-			escaped = true
-		}
-		return true
-	})
-	return escaped
 }

@@ -1,0 +1,47 @@
+// Package lib is the ctxflow golden package for library code:
+// context.Background/TODO are forbidden — callees must inherit the
+// caller's deadline and cancellation.
+package lib
+
+import (
+	"context"
+	"time"
+)
+
+// Flagged: a fresh root context detaches this call tree from the
+// caller.
+func FreshRoot() error {
+	return ping(context.Background()) // want "context.Background in library code detaches callees"
+}
+
+// Flagged: TODO is the same detachment with a different name.
+func TodoRoot() error {
+	return ping(context.TODO()) // want "context.TODO in library code detaches callees"
+}
+
+// Flagged: worse — a context parameter is in scope and discarded.
+func DiscardsParam(ctx context.Context) error {
+	return ping(context.Background()) // want "context.Background discards the in-scope context \"ctx\""
+}
+
+// Flagged: closures inherit the enclosing function's context too.
+func DiscardsInClosure(ctx context.Context) func() error {
+	return func() error {
+		return ping(context.TODO()) // want "context.TODO discards the in-scope context \"ctx\""
+	}
+}
+
+// Clean: the context threads through, derived where a bound is needed.
+func Threads(ctx context.Context) error {
+	dctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return ping(dctx)
+}
+
+// Clean: a deliberate root for a process-lifetime worker, annotated.
+func AllowedRoot() error {
+	//lint:allow ctxflow detached janitor outlives every request
+	return ping(context.Background())
+}
+
+func ping(ctx context.Context) error { return nil }

@@ -1,0 +1,23 @@
+// Command mainpkg is the ctxflow golden for package main: minting a
+// root context is allowed at the top of the process — unless a context
+// parameter is already in scope, which must thread through instead.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // clean: package main owns the root
+	run(ctx)
+}
+
+// run takes the process context; minting a new root here severs it.
+func run(ctx context.Context) error {
+	return step(context.Background()) // want "context.Background discards the in-scope context \"ctx\""
+}
+
+// probe has no context parameter, so package main may root one.
+func probe() error {
+	return step(context.TODO()) // clean: main, no context in scope
+}
+
+func step(ctx context.Context) error { return nil }

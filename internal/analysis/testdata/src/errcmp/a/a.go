@@ -1,0 +1,85 @@
+// Package a is the errcmp golden package: error values must be
+// compared with errors.Is/errors.As, never == / != / type asserts,
+// because one fmt.Errorf("%w") anywhere in the call chain breaks
+// identity.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrLocal is this package's own sentinel: comparing against it inside
+// the package is the sentinel-return idiom and stays exempt (see own.go
+// for the all-clean variant).
+var ErrLocal = errors.New("local")
+
+// Flagged: identity comparison against another package's sentinel.
+func CompareForeign(err error) bool {
+	return err == io.EOF // want "error compared with == does not see through wrapped errors"
+}
+
+// Flagged: != has the same hazard.
+func CompareForeignNeq(err error) bool {
+	if err != io.ErrUnexpectedEOF { // want "error compared with != does not see through wrapped errors"
+		return true
+	}
+	return false
+}
+
+// Flagged: a bare type assertion cannot see through wrapping.
+func AssertConcrete(err error) bool {
+	_, ok := err.(*os.PathError) // want "type assertion on an error value does not see through wrapped errors"
+	return ok
+}
+
+// Flagged: a type switch on an error has the same blind spot.
+func SwitchOnType(err error) string {
+	switch err.(type) { // want "type switch on an error value does not see through wrapped errors"
+	case *os.PathError:
+		return "path"
+	default:
+		return "other"
+	}
+}
+
+// Flagged: switching on the error value compares each case with ==.
+func SwitchOnValue(err error) string {
+	switch err { // want "switch on an error value compares with =="
+	case io.EOF:
+		return "eof"
+	default:
+		return "other"
+	}
+}
+
+// Clean: nil checks are the universal idiom, not sentinel comparisons.
+func NilChecks(err error) error {
+	if err != nil {
+		return fmt.Errorf("wrapped: %w", err)
+	}
+	for err == nil {
+		return nil
+	}
+	return err
+}
+
+// Clean: errors.Is and errors.As are the wrap-safe forms.
+func WrapSafe(err error) bool {
+	var pe *os.PathError
+	return errors.Is(err, io.EOF) || errors.As(err, &pe)
+}
+
+// Clean: comparing against the package's own sentinel — the package
+// controls every return site and guarantees it is never wrapped.
+func OwnSentinel(err error) bool {
+	return err == ErrLocal
+}
+
+// Clean: a deliberate identity comparison, annotated with why.
+func Allowed(err error) bool {
+	//lint:allow errcmp the decoder contract returns io.EOF unwrapped
+	return err == io.EOF
+}

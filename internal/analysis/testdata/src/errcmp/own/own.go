@@ -1,0 +1,27 @@
+// Package own is the all-clean errcmp variant: a package that declares
+// its own sentinels and compares against them — the sentinel-return
+// idiom — produces no findings.
+package own
+
+import "errors"
+
+// ErrSaturated is returned, unwrapped, when the queue is full.
+var ErrSaturated = errors.New("saturated")
+
+// ErrClosed is returned, unwrapped, after Close.
+var ErrClosed = errors.New("closed")
+
+// Classify maps this package's own sentinels to outcomes; identity
+// comparison is safe because every return site is in this file.
+func Classify(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case err == ErrSaturated:
+		return "retry"
+	case err != ErrClosed:
+		return "fatal"
+	default:
+		return "done"
+	}
+}

@@ -1,0 +1,133 @@
+// Package a is the gateleak golden package: the release func returned
+// by par.Gate.Acquire must be called or deferred on every path out of
+// the function and out of the loop iteration that acquired it.
+package a
+
+import (
+	"context"
+	"errors"
+
+	"smartndr/internal/par"
+)
+
+// Flagged: the early return leaks the slot.
+func LeakOnReturn(ctx context.Context, g *par.Gate, fail bool) error {
+	release, err := g.Acquire(ctx) // want "gate release release is not called on every path"
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errors.New("boom")
+	}
+	release()
+	return nil
+}
+
+// Flagged: the release func is thrown away; the slot can never free.
+func Discarded(ctx context.Context, g *par.Gate) {
+	_, _ = g.Acquire(ctx) // want "gate release func is discarded"
+}
+
+// Flagged: the winner path releases, but slow iterations leak their
+// slot when the iteration ends.
+func LeakInLoop(ctx context.Context, g *par.Gate, n int) {
+	for i := 0; i < n; i++ {
+		release, err := g.Acquire(ctx) // want "gate release release acquired in a loop is not called"
+		if err != nil {
+			return
+		}
+		if i%2 == 0 {
+			release()
+		}
+	}
+}
+
+// Flagged: a defer inside the loop body does not run until the
+// function returns, so slots accumulate across iterations.
+func DeferInLoop(ctx context.Context, g *par.Gate, n int) {
+	for i := 0; i < n; i++ {
+		release, err := g.Acquire(ctx) // want "called only by a defer registered in the same iteration"
+		if err != nil {
+			return
+		}
+		defer release()
+	}
+}
+
+// Clean: the standard idiom — acquire, check the error, defer.
+func DeferAfterErrCheck(ctx context.Context, g *par.Gate) error {
+	release, err := g.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	defer release()
+	return work(ctx)
+}
+
+// Clean: released inside a deferred cleanup closure.
+func DeferredClosure(ctx context.Context, g *par.Gate) error {
+	release, err := g.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		release()
+	}()
+	return work(ctx)
+}
+
+// Clean: released explicitly on both branch exits.
+func ReleasedOnAllPaths(ctx context.Context, g *par.Gate, fast bool) error {
+	release, err := g.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	if fast {
+		release()
+		return nil
+	}
+	werr := work(ctx)
+	release()
+	return werr
+}
+
+// Clean: released before each iteration ends, hedge-loser style.
+func ReleasedInLoop(ctx context.Context, g *par.Gate, n int) {
+	for i := 0; i < n; i++ {
+		release, err := g.Acquire(ctx)
+		if err != nil {
+			continue
+		}
+		if work(ctx) != nil {
+			release()
+			continue
+		}
+		release()
+	}
+}
+
+// Clean: the release escapes — ownership (and the obligation) moves to
+// the caller, as in a pool handing out slot-scoped cleanup funcs.
+func Escapes(ctx context.Context, g *par.Gate) (func(), error) {
+	release, err := g.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return release, nil
+}
+
+// Clean: a deliberate leak on the failure path, annotated with why.
+func Allowed(ctx context.Context, g *par.Gate, fail bool) error {
+	//lint:allow gateleak slot intentionally pinned until process exit
+	release, err := g.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	if fail {
+		return nil
+	}
+	release()
+	return nil
+}
+
+func work(ctx context.Context) error { return nil }

@@ -27,6 +27,17 @@ func ForEachWorker(ctx context.Context, workers, n int, fn func(worker, i int) e
 	return nil
 }
 
+// Gate mirrors par.Gate: bounded admission with a release func.
+type Gate struct{}
+
+// NewGate returns a gate with the given slot and queue bounds.
+func NewGate(slots, queue int) *Gate { return &Gate{} }
+
+// Acquire takes a slot, returning the release func the caller must run.
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	return func() {}, nil
+}
+
 // Source is a reseedable source.
 type Source struct{ state uint64 }
 

@@ -1,0 +1,144 @@
+// Package cfg exercises the dataflow engine's CFG edge cases through
+// spanhygiene: goto, labeled break/continue out of nested loops,
+// select with and without default, and defer-inside-loop — a flagged
+// and a clean variant for each.
+package cfg
+
+import (
+	"errors"
+
+	"smartndr/internal/obs"
+)
+
+// Flagged: the goto path skips the End.
+func GotoLeak(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("work") // want "span sp is not Ended on every path"
+	if fail {
+		goto bail
+	}
+	sp.End()
+	return nil
+bail:
+	return errors.New("boom")
+}
+
+// Clean: both the goto path and the fall-through reach the End.
+func GotoClean(tr *obs.Tracer, fast bool) error {
+	sp := tr.Start("work")
+	if fast {
+		goto done
+	}
+	sp.Set("busy", true)
+done:
+	sp.End()
+	return nil
+}
+
+// Flagged: break outer ends the outer iteration with sp still open.
+func LabeledBreakLeak(root *obs.Span, rows [][]int) {
+outer:
+	for _, row := range rows {
+		sp := root.Child("row") // want "span sp opened in a loop body is not Ended"
+		for _, v := range row {
+			if v < 0 {
+				break outer
+			}
+		}
+		sp.End()
+	}
+}
+
+// Clean: the span is opened outside the loops and deferred, so the
+// labeled break terminates no obligation.
+func LabeledBreakClean(root *obs.Span, rows [][]int) {
+	sp := root.Child("scan")
+	defer sp.End()
+outer:
+	for _, row := range rows {
+		for _, v := range row {
+			if v < 0 {
+				break outer
+			}
+		}
+	}
+}
+
+// Flagged: continue outer ends the outer iteration with sp still open.
+func LabeledContinueLeak(root *obs.Span, rows [][]int) {
+outer:
+	for _, row := range rows {
+		sp := root.Child("row") // want "span sp opened in a loop body is not Ended"
+		for _, v := range row {
+			if v == 0 {
+				continue outer
+			}
+		}
+		sp.End()
+	}
+}
+
+// Clean: every path out of the outer iteration Ends first.
+func LabeledContinueClean(root *obs.Span, rows [][]int) {
+outer:
+	for _, row := range rows {
+		sp := root.Child("row")
+		for _, v := range row {
+			if v == 0 {
+				sp.End()
+				continue outer
+			}
+		}
+		sp.End()
+	}
+}
+
+// Flagged: the default arm leaves the span open.
+func SelectDefaultLeak(root *obs.Span, ch <-chan int) {
+	sp := root.Child("wait") // want "span sp is not Ended on every path"
+	select {
+	case <-ch:
+		sp.End()
+	default:
+	}
+}
+
+// Clean: every select arm, including default, Ends the span.
+func SelectDefaultClean(root *obs.Span, ch <-chan int) {
+	sp := root.Child("wait")
+	select {
+	case <-ch:
+		sp.End()
+	default:
+		sp.End()
+	}
+}
+
+// Clean: without a default the select blocks until some case fires —
+// there is no fall-through path that could leak the span.
+func SelectNoDefaultClean(root *obs.Span, a, b <-chan int) {
+	sp := root.Child("wait")
+	select {
+	case <-a:
+		sp.End()
+	case <-b:
+		sp.End()
+	}
+}
+
+// Flagged: a defer inside the loop body runs at function return, not
+// at iteration end, so each iteration pins another open span.
+func DeferInLoopLeak(root *obs.Span, n int) {
+	for i := 0; i < n; i++ {
+		sp := root.Child("iter") // want "Ended only by a defer registered in the same iteration"
+		defer sp.End()
+	}
+}
+
+// Clean: Ending before the iteration closes each span in turn.
+func DeferInLoopClean(root *obs.Span, n int) {
+	for i := 0; i < n; i++ {
+		sp := root.Child("iter")
+		sp.Set("i", i)
+		sp.End()
+	}
+}

@@ -104,6 +104,7 @@ func All(o Options) error {
 	errs := make([]error, len(reg))
 	// Errors are collected per experiment rather than cancelling the
 	// fan-out, so the output prefix before a failure matches serial runs.
+	//lint:allow ctxflow offline batch CLI with no cancellation semantics; a cancelled fan-out would break the bit-identical-output contract
 	_ = par.ForEach(context.Background(), o.Workers, len(reg), func(i int) error {
 		oi := o
 		oi.Out = &bufs[i]
@@ -236,6 +237,7 @@ func T2MainComparison(o Options) error {
 		// Schemes evaluate concurrently on private clones; metrics land in
 		// a slot per run so the rendered rows keep presentation order.
 		ms := make([]core.Metrics, len(runs))
+		//lint:allow ctxflow offline batch CLI with no cancellation semantics; runs to completion by design
 		err = par.ForEach(context.Background(), par.Workers(o.Workers), len(runs), func(ri int) error {
 			t := tree.Clone()
 			if err := runs[ri].apply(t); err != nil {

@@ -42,6 +42,7 @@ func T4MultiCorner(o Options) error {
 	// Per-scheme signoff runs concurrently on private clones; the reports
 	// are slot-addressed so rows render in presentation order.
 	reps := make([]*core.MultiCornerReport, len(schemes))
+	//lint:allow ctxflow offline batch CLI with no cancellation semantics; runs to completion by design
 	err = par.ForEach(context.Background(), par.Workers(o.Workers), len(schemes), func(si int) error {
 		t := tree.Clone()
 		switch schemes[si] {

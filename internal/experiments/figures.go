@@ -191,6 +191,7 @@ func F3Variation(o Options) error {
 		st      *variation.Stats
 	}
 	outs := make([]f3Out, len(schemes))
+	//lint:allow ctxflow offline batch CLI with no cancellation semantics; runs to completion by design
 	err = par.ForEach(context.Background(), par.Workers(o.Workers), len(schemes), func(si int) error {
 		t := tree.Clone()
 		switch schemes[si] {
@@ -256,6 +257,7 @@ func F4TopKSweep(o Options) error {
 		"assignment", "power (mW)", "NDR len", "worst slew (ps)", "viol", "skew (ps)")
 	// Items 0..maxLv are the K sweep; the last slot is the smart point.
 	ms := make([]core.Metrics, maxLv+2)
+	//lint:allow ctxflow offline batch CLI with no cancellation semantics; runs to completion by design
 	err = par.ForEach(context.Background(), par.Workers(o.Workers), len(ms), func(k int) error {
 		t := tree.Clone()
 		if k <= maxLv {

@@ -121,7 +121,7 @@ func (d *lineDecoder) next() ([]byte, error) {
 		n, err := d.r.Read(d.chunk)
 		d.pend = d.chunk[:n]
 		switch {
-		case err == io.EOF:
+		case errors.Is(err, io.EOF):
 			d.done = true
 		case err != nil:
 			return nil, err
@@ -164,7 +164,7 @@ func readDEFLite(r io.Reader, name string, chunkBytes int) (*workload.Benchmark,
 	}
 	for {
 		raw, err := dec.next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

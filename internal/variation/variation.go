@@ -222,6 +222,7 @@ func MonteCarloTr(t *ctree.Tree, te *tech.Tech, lib *cell.Library, p Params, tr 
 	}
 	scratch := make([]*trialScratch, workers)
 	samples := make([]Sample, p.Samples)
+	//lint:allow ctxflow deterministic Monte-Carlo batch; cancelling mid-run would violate the seeded-substream reproducibility contract
 	err := par.ForEachWorker(context.Background(), workers, p.Samples, func(w, s int) error {
 		sc := scratch[w]
 		if sc == nil {

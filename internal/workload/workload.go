@@ -118,6 +118,7 @@ func GenerateP(s Spec, workers int) (*Benchmark, error) {
 		// not shift with however many draws the center setup consumed.
 		centers := clusterCenters(s, rand.New(rand.NewSource(s.Seed)))
 		shards := (s.Sinks + s.Shard - 1) / s.Shard
+		//lint:allow ctxflow deterministic generator; cancelling a shard mid-run would violate the seeded-substream reproducibility contract
 		err := par.ForEach(context.Background(), par.Workers(workers), shards, func(j int) error {
 			var src par.Source
 			src.Seed(par.SubstreamSeed(s.Seed, j))
