@@ -27,6 +27,9 @@
 //	POST /v1/flow     run one benchmark through one scheme
 //	POST /v1/sweep    scheme×corner arm batch on one shared tree
 //	POST /v1/batch    many flow requests in one round trip
+//	POST /v1/session  open a stateful design session (edit + re-evaluate)
+//	POST /v1/session/{id}/delta  apply edits or roll back, warm
+//	GET  /v1/session/{id}        session state; DELETE closes it
 //	GET  /v1/healthz  liveness (503 while draining)
 //	GET  /v1/statsz   counters, latency percentiles, cache, admission, shards
 //	GET  /v1/tracez   slowest + most recent request span trees
@@ -93,6 +96,9 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	hedgeAfter := fs.Duration("hedge-after", 0, "frontend: fixed hedge delay (0 = adaptive recent p95)")
 	noHedge := fs.Bool("no-hedge", false, "frontend: disable hedged retries")
 	probeEvery := fs.Duration("probe-interval", 5*time.Second, "frontend: backend health-probe period (0 disables)")
+	sessionTTL := fs.Duration("session-ttl", 15*time.Minute, "idle lifetime of a design session (refreshed on use)")
+	maxSessions := fs.Int("max-sessions", 64, "live design sessions before LRU eviction")
+	sessionMaxBytes := fs.Int64("session-max-bytes", 256<<20, "soft memory budget for live sessions (bytes)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -159,17 +165,20 @@ func run(args []string, stderr io.Writer, ready chan<- string, stop <-chan struc
 	}
 
 	srv := serve.New(serve.Config{
-		Runner:         runner,
-		MaxConcurrent:  *maxConc,
-		QueueDepth:     *queueDepth,
-		RequestTimeout: *reqTimeout,
-		RetryAfter:     *retryAfter,
-		CacheEntries:   *cacheEntries,
-		Workers:        *workers,
-		MaxBodyBytes:   *maxSpecBytes,
-		Tracer:         tracer,
-		SpanObs:        spanObs,
-		TracezCapacity: *tracezCap,
+		Runner:          runner,
+		MaxConcurrent:   *maxConc,
+		QueueDepth:      *queueDepth,
+		RequestTimeout:  *reqTimeout,
+		RetryAfter:      *retryAfter,
+		CacheEntries:    *cacheEntries,
+		Workers:         *workers,
+		MaxBodyBytes:    *maxSpecBytes,
+		Tracer:          tracer,
+		SpanObs:         spanObs,
+		TracezCapacity:  *tracezCap,
+		SessionTTL:      *sessionTTL,
+		MaxSessions:     *maxSessions,
+		SessionMaxBytes: *sessionMaxBytes,
 	})
 
 	// Frontends keep membership fresh: a probe loop marks dead backends

@@ -329,3 +329,129 @@ func TestDaemonClusterRoles(t *testing.T) {
 		t.Error("frontend accepted an empty backend list")
 	}
 }
+
+// TestDaemonSessionRoundTrip drives the session lifecycle through the
+// full daemon stack: create, delta, read, delete, and the statsz gauge.
+func TestDaemonSessionRoundTrip(t *testing.T) {
+	base, shutdown := startDaemon(t, "-session-ttl", "1m", "-max-sessions", "4")
+	defer shutdown()
+
+	post := func(path, body string) (int, []byte) {
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	create := `{"spec":{"name":"sess","sinks":14,"die_x":300,"die_y":300,"seed":9,"cap_min":1e-15,"cap_max":3e-15}}`
+	status, body := post("/v1/session", create)
+	if status != http.StatusOK {
+		t.Fatalf("session create = %d: %s", status, body)
+	}
+	var created struct {
+		Session string          `json:"session"`
+		Rev     int             `json:"rev"`
+		Key     string          `json:"key"`
+		Nodes   int             `json:"nodes"`
+		Result  json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatalf("create response not JSON: %v: %s", err, body)
+	}
+	if created.Session == "" || created.Key == "" || len(created.Result) == 0 || created.Nodes == 0 {
+		t.Fatalf("create response incomplete: %s", body)
+	}
+
+	// The pristine session result is byte-identical to a cold flow run.
+	status, coldBody := post("/v1/flow", create)
+	if status != http.StatusOK {
+		t.Fatalf("cold flow = %d: %s", status, coldBody)
+	}
+	if !bytes.Equal(created.Result, coldBody) {
+		t.Errorf("session create result differs from cold flow:\n%s\n%s", created.Result, coldBody)
+	}
+
+	// One warm delta moves a sink; the key must change with the state.
+	delta := `{"edits":[{"op":"move_sink","sink":0,"x":40,"y":55}]}`
+	status, body = post("/v1/session/"+created.Session+"/delta", delta)
+	if status != http.StatusOK {
+		t.Fatalf("session delta = %d: %s", status, body)
+	}
+	var edited struct {
+		Rev  int    `json:"rev"`
+		Revs int    `json:"revs"`
+		Key  string `json:"key"`
+	}
+	if err := json.Unmarshal(body, &edited); err != nil {
+		t.Fatalf("delta response not JSON: %v: %s", err, body)
+	}
+	if edited.Rev != 1 || edited.Revs != 2 || edited.Key == created.Key {
+		t.Errorf("delta response = %s, want rev 1 of 2 with a new key", body)
+	}
+
+	// Rolling back to rev 0 restores the pristine key.
+	status, body = post("/v1/session/"+created.Session+"/delta", `{"rollback_to":0}`)
+	if status != http.StatusOK {
+		t.Fatalf("rollback = %d: %s", status, body)
+	}
+	var rolled struct {
+		Key string `json:"key"`
+	}
+	if err := json.Unmarshal(body, &rolled); err != nil {
+		t.Fatal(err)
+	}
+	if rolled.Key != created.Key {
+		t.Errorf("rollback key = %s, want pristine %s", rolled.Key, created.Key)
+	}
+
+	// GET returns the envelope; statsz counts the live session.
+	resp, err := http.Get(base + "/v1/session/" + created.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session read = %d: %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(base + "/v1/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st struct {
+		Sessions struct {
+			Live int `json:"live"`
+		} `json:"sessions"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("statsz not JSON: %v", err)
+	}
+	if st.Sessions.Live != 1 {
+		t.Errorf("statsz sessions.live = %d, want 1: %s", st.Sessions.Live, body)
+	}
+
+	// DELETE closes it; a second delta 404s.
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/session/"+created.Session, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("session delete = %d, want 200", resp.StatusCode)
+	}
+	if status, body = post("/v1/session/"+created.Session+"/delta", delta); status != http.StatusNotFound {
+		t.Errorf("delta after delete = %d: %s", status, body)
+	}
+}

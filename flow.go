@@ -41,6 +41,9 @@ type (
 	OptStats = core.Stats
 	// BenchSpec describes a generated benchmark.
 	BenchSpec = workload.Spec
+	// Edit is one serialized session delta (sink move, pin-cap change,
+	// per-edge rule override, input-slew override). See internal/core.
+	Edit = core.Edit
 	// VariationParams configure Monte Carlo robustness analysis.
 	VariationParams = variation.Params
 	// VariationStats summarize a Monte Carlo run.
@@ -327,6 +330,41 @@ func (f *Flow) RunSpec(ctx context.Context, spec BenchSpec, scheme Scheme) (*Bui
 	return built, res, nil
 }
 
+// RunSpecEdits is RunSpec followed by a set of session edits: the
+// benchmark is generated, built, and scheme-optimized exactly as a plain
+// run (edits never influence construction or optimization — they model
+// post-synthesis ECOs), then the canonical edit state is applied to the
+// result tree and the metrics re-evaluated. This is the cold reference
+// the session differential harness compares warm deltas against: a
+// session sitting at the same canonical edit state must return these
+// bytes.
+func (f *Flow) RunSpecEdits(ctx context.Context, spec BenchSpec, scheme Scheme, edits []Edit) (*Built, *Result, error) {
+	built, res, err := f.RunSpec(ctx, spec, scheme)
+	if err != nil {
+		return nil, nil, err
+	}
+	canon := core.CanonicalEdits(edits)
+	if len(canon) == 0 {
+		return built, res, nil
+	}
+	sp := f.cfg.Tracer.Start("flow.apply_edits", obs.I("edits", len(canon)))
+	defer sp.End()
+	te, lib := f.cfg.Tech, f.cfg.Library
+	eco, err := core.NewECO(res.Tree, te)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := eco.SetState(canon, nil); err != nil {
+		return nil, nil, err
+	}
+	m, _, err := core.EvaluateTr(res.Tree, te, lib, eco.InSlew(f.cfg.InSlew), f.cfg.Tracer)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Metrics = m
+	return built, res, nil
+}
+
 // RunHier builds the clock tree with the partitioned hierarchical
 // pipeline (see internal/hier): sinks are split into regions of at most
 // Hier.MaxRegionSinks, each region is synthesized (and, for SchemeSmart,
@@ -396,6 +434,13 @@ func (f *Flow) RunHier(ctx context.Context, sinks []Sink, src Point, scheme Sche
 // so stale content-addressed cache entries can never alias new results.
 const flowKeyVersion = "smartndr/flow/v2"
 
+// flowKeyVersionEdits is the version stamped on runs that carry session
+// edits. Edit-free runs keep flowKeyVersion — their serialization (the
+// Edits field is omitempty) and therefore their content addresses are
+// bitwise what they were before sessions existed, so warm caches survive
+// the upgrade; the golden-key regression test pins that.
+const flowKeyVersionEdits = "smartndr/flow/v3"
+
 // runKey is the canonical serialization of everything that determines a
 // RunSpec result: the benchmark spec, the full technology and buffer
 // library, the scheme, and every resolved engine knob. Tracer fields
@@ -413,12 +458,23 @@ type runKey struct {
 	CTS     cts.Options `json:"cts"`
 	Opt     core.Config `json:"opt"`
 	Hier    HierConfig  `json:"hier"`
+	// Edits is the canonical session edit state, nil for plain runs so
+	// the field vanishes from edit-free serializations.
+	Edits []core.Edit `json:"edits,omitempty"`
 }
 
 // CanonicalRun returns the canonical byte serialization hashed by
 // CanonicalKey. Exposed so tests and tools can inspect exactly what the
 // content address covers.
 func (f *Flow) CanonicalRun(spec BenchSpec, scheme Scheme) ([]byte, error) {
+	return f.CanonicalRunEdits(spec, scheme, nil)
+}
+
+// CanonicalRunEdits is CanonicalRun for a run carrying session edits. The
+// edits are canonicalized first, so every edit sequence reaching the same
+// state serializes — and hashes — identically. With no surviving edits
+// the serialization (and version stamp) is exactly CanonicalRun's.
+func (f *Flow) CanonicalRunEdits(spec BenchSpec, scheme Scheme, edits []Edit) ([]byte, error) {
 	k := runKey{
 		V:       flowKeyVersion,
 		Spec:    spec,
@@ -430,6 +486,10 @@ func (f *Flow) CanonicalRun(spec BenchSpec, scheme Scheme) ([]byte, error) {
 		CTS:     f.cfg.CTS,
 		Opt:     f.cfg.Opt,
 		Hier:    f.cfg.Hier,
+		Edits:   core.CanonicalEdits(edits),
+	}
+	if len(k.Edits) > 0 {
+		k.V = flowKeyVersionEdits
 	}
 	// Zero the non-semantic fields (a nil and a live tracer must
 	// serialize identically).
@@ -444,7 +504,14 @@ func (f *Flow) CanonicalRun(spec BenchSpec, scheme Scheme) ([]byte, error) {
 // results, which is what makes the address safe to use as a cache key
 // and a cross-run dedup handle.
 func (f *Flow) CanonicalKey(spec BenchSpec, scheme Scheme) (string, error) {
-	b, err := f.CanonicalRun(spec, scheme)
+	return f.CanonicalKeyEdits(spec, scheme, nil)
+}
+
+// CanonicalKeyEdits is CanonicalKey for an edited run: the content
+// address of RunSpecEdits' outcome. Every session state has one — two
+// sessions (or a session and a cold run) in the same edit state share it.
+func (f *Flow) CanonicalKeyEdits(spec BenchSpec, scheme Scheme, edits []Edit) (string, error) {
+	b, err := f.CanonicalRunEdits(spec, scheme, edits)
 	if err != nil {
 		return "", err
 	}

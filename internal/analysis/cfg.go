@@ -115,7 +115,7 @@ func (p *Pass) funcCFG(body *ast.BlockStmt) *funcCFG {
 type cfgTarget struct {
 	up         *cfgTarget
 	label      string
-	loop       *cfgLoop  // nil for switch/select
+	loop       *cfgLoop // nil for switch/select
 	breakTo    *cfgBlock
 	continueTo *cfgBlock // nil unless loop
 }

@@ -248,10 +248,10 @@ func (r *consumeRule) checkFunc(pass *Pass, body *ast.BlockStmt) {
 	// object (matching the first report of a source-ordered walk), and
 	// emit.
 	type event struct {
-		obj  types.Object
-		e    resEntry
-		at   token.Pos
-		kind int // 0 exit, 1 loop, 2 defer-in-loop
+		obj   types.Object
+		e     resEntry
+		at    token.Pos
+		kind  int // 0 exit, 1 loop, 2 defer-in-loop
 		where string
 	}
 	var events []event

@@ -399,6 +399,22 @@ func (r *Runner) FlowKey(req *serve.FlowRequest) (string, error) {
 	return r.local.FlowKey(req)
 }
 
+// OpenSession implements serve.SessionRunner by delegating to the local
+// runner. Sessions are deliberately node-local: a session is a live tree
+// plus an incremental engine, and shipping per-edit dirty state across
+// the fleet would cost more than the microseconds it saves. Clients pin
+// a session to the node that created it; content addresses make results
+// portable anyway. Returns an error when the local runner cannot host
+// sessions (the serve layer reports 501).
+func (r *Runner) OpenSession(ctx context.Context, req *serve.FlowRequest, tr *obs.Tracer) (serve.SessionHandle, error) {
+	sr, ok := r.local.(serve.SessionRunner)
+	if !ok {
+		return nil, fmt.Errorf("cluster: local runner %T does not host sessions", r.local)
+	}
+	r.reg.Add("cluster.requests", 1)
+	return sr.OpenSession(ctx, req, tr)
+}
+
 // SweepKey implements serve.Runner.
 func (r *Runner) SweepKey(req *serve.SweepRequest) (string, error) {
 	return r.local.SweepKey(req)

@@ -169,6 +169,29 @@ func EvaluateTr(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64,
 	if err != nil {
 		return Metrics{}, nil, err
 	}
+	return extractMetrics(t, te, res, tr), res, nil
+}
+
+// EvaluateInc is EvaluateTr with the analysis served by a shared
+// dirty-region engine instead of a from-scratch pass: the engine's
+// bitwise-exactness contract makes the two interchangeable, which is what
+// session responses being byte-identical to cold runs rests on. Edited
+// nodes must already have been reported via eng.Touch.
+func EvaluateInc(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64, eng *sta.Incremental, tr *obs.Tracer) (Metrics, *sta.Result, error) {
+	sp := tr.Start("core.evaluate_inc")
+	defer sp.End()
+	res, err := eng.Analyze(t, inSlew)
+	if err != nil {
+		return Metrics{}, nil, err
+	}
+	return extractMetrics(t, te, res, tr), res, nil
+}
+
+// extractMetrics folds an analysis result and the tree geometry into the
+// experiment-table metric set. Shared by the cold and incremental
+// evaluate paths; must stay a pure function of (t, res) so both produce
+// identical bytes for identical inputs.
+func extractMetrics(t *ctree.Tree, te *tech.Tech, res *sta.Result, tr *obs.Tracer) Metrics {
 	exSpan := tr.Start("extract")
 	defer exSpan.End()
 	m := Metrics{
@@ -197,7 +220,7 @@ func EvaluateTr(t *ctree.Tree, te *tech.Tech, lib *cell.Library, inSlew float64,
 	if m.Wirelength > 0 {
 		m.NDRFraction = ndrLen / m.Wirelength
 	}
-	return m, res, nil
+	return m
 }
 
 // AssignAll sets every edge to rule index ri — the all-default and blanket

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"smartndr/internal/cell"
+	"smartndr/internal/ctree"
+	"smartndr/internal/geom"
+	"smartndr/internal/tech"
+)
+
+func TestCanonicalEdits(t *testing.T) {
+	if got := CanonicalEdits(nil); got != nil {
+		t.Fatalf("nil in, %v out", got)
+	}
+	if got := CanonicalEdits([]Edit{}); got != nil {
+		t.Fatalf("empty in, %v out", got)
+	}
+	// Last write wins per target; stray fields are stripped; output is
+	// sorted by (op, index).
+	in := []Edit{
+		{Op: OpNodeRule, Node: 9, Rule: 1},
+		{Op: OpSinkCap, Sink: 2, Cap: 3e-15, Rule: 7}, // Rule is noise for sink_cap
+		{Op: OpMoveSink, Sink: 5, X: 1, Y: 2},
+		{Op: OpSinkCap, Sink: 2, Cap: 2e-15},
+		{Op: OpInSlew, InSlewPS: 50},
+		{Op: OpInSlew, InSlewPS: 60},
+		{Op: OpMoveSink, Sink: 1, X: 4, Y: 4, Cap: 9}, // Cap is noise for move_sink
+	}
+	want := []Edit{
+		{Op: OpMoveSink, Sink: 1, X: 4, Y: 4},
+		{Op: OpMoveSink, Sink: 5, X: 1, Y: 2},
+		{Op: OpSinkCap, Sink: 2, Cap: 2e-15},
+		{Op: OpNodeRule, Node: 9, Rule: 1},
+		{Op: OpInSlew, InSlewPS: 60},
+	}
+	got := CanonicalEdits(in)
+	if len(got) != len(want) {
+		t.Fatalf("got %d edits %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("edit[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Canonicalization is idempotent.
+	again := CanonicalEdits(got)
+	for i := range got {
+		if again[i] != got[i] {
+			t.Fatalf("not idempotent at %d: %+v vs %+v", i, again[i], got[i])
+		}
+	}
+	// sink_rule and node_rule are distinct targets even at equal index.
+	both := CanonicalEdits([]Edit{
+		{Op: OpSinkRule, Sink: 3, Rule: 0},
+		{Op: OpNodeRule, Node: 3, Rule: 2},
+	})
+	if len(both) != 2 {
+		t.Fatalf("sink_rule/node_rule collapsed: %v", both)
+	}
+}
+
+// snapshotTree deep-copies the state an ECO can mutate.
+func snapshotTree(tr *ctree.Tree) ([]ctree.Node, []ctree.Sink) {
+	return append([]ctree.Node(nil), tr.Nodes...), append([]ctree.Sink(nil), tr.Sinks...)
+}
+
+// requireTreeBytes asserts the tree matches a snapshot bitwise.
+func requireTreeBytes(t *testing.T, tag string, tr *ctree.Tree, nodes []ctree.Node, sinks []ctree.Sink) {
+	t.Helper()
+	for i := range nodes {
+		if tr.Nodes[i] != nodes[i] {
+			t.Fatalf("%s: node %d = %+v, want %+v", tag, i, tr.Nodes[i], nodes[i])
+		}
+	}
+	for i := range sinks {
+		if tr.Sinks[i] != sinks[i] {
+			t.Fatalf("%s: sink %d = %+v, want %+v", tag, i, tr.Sinks[i], sinks[i])
+		}
+	}
+}
+
+// randomEdits builds a batch of valid edits against the tree.
+func randomEdits(rng *rand.Rand, tr *ctree.Tree, te *tech.Tech, n int) []Edit {
+	edits := make([]Edit, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			edits = append(edits, Edit{Op: OpMoveSink, Sink: rng.Intn(len(tr.Sinks)),
+				X: rng.Float64() * 1000, Y: rng.Float64() * 1000})
+		case 1:
+			edits = append(edits, Edit{Op: OpSinkCap, Sink: rng.Intn(len(tr.Sinks)),
+				Cap: (1 + 3*rng.Float64()) * 1e-15})
+		case 2:
+			edits = append(edits, Edit{Op: OpSinkRule, Sink: rng.Intn(len(tr.Sinks)),
+				Rule: rng.Intn(te.NumRules())})
+		case 3:
+			edits = append(edits, Edit{Op: OpNodeRule, Node: rng.Intn(len(tr.Nodes)),
+				Rule: rng.Intn(te.NumRules())})
+		default:
+			edits = append(edits, Edit{Op: OpInSlew, InSlewPS: 30 + 40*rng.Float64()})
+		}
+	}
+	return edits
+}
+
+// TestECORoundTrip: applying edit states and then clearing them must land
+// back on the pristine tree bitwise — the invariant warm-path rollback
+// and cache-key canonicalization both lean on.
+func TestECORoundTrip(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tr := buildBlanket(t, 80, 41, 1200, te, lib)
+	nodes0, sinks0 := snapshotTree(tr)
+	eco, err := NewECO(tr, te)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(410))
+	for round := 0; round < 30; round++ {
+		state := CanonicalEdits(randomEdits(rng, tr, te, 1+rng.Intn(8)))
+		if err := eco.SetState(state, nil); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		live := eco.Live()
+		if len(live) != len(state) {
+			t.Fatalf("round %d: live %v, want %v", round, live, state)
+		}
+		for i := range state {
+			if live[i] != state[i] {
+				t.Fatalf("round %d: live[%d] = %+v, want %+v", round, i, live[i], state[i])
+			}
+		}
+		if err := eco.SetState(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		requireTreeBytes(t, fmt.Sprintf("round %d", round), tr, nodes0, sinks0)
+		if got := eco.InSlew(40e-12); got != 40e-12 {
+			t.Fatalf("round %d: in_slew override survived clear: %g", round, got)
+		}
+	}
+}
+
+// TestECOPathIndependence: the tree bytes depend only on the canonical
+// edit state, not on the sequence of states that led there.
+func TestECOPathIndependence(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	trA := buildBlanket(t, 60, 42, 1000, te, lib)
+	trB := buildBlanket(t, 60, 42, 1000, te, lib)
+	ecoA, err := NewECO(trA, te)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecoB, err := NewECO(trB, te)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4200))
+	var cumulative []Edit
+	for step := 0; step < 20; step++ {
+		cumulative = CanonicalEdits(append(cumulative, randomEdits(rng, trA, te, 1+rng.Intn(4))...))
+		// A walks through every intermediate state; B jumps straight to
+		// the final one each step after bouncing through a decoy state.
+		if err := ecoA.SetState(cumulative, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := ecoB.SetState(randomEdits(rng, trB, te, 3), nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := ecoB.SetState(cumulative, nil); err != nil {
+			t.Fatal(err)
+		}
+		nodesA, sinksA := snapshotTree(trA)
+		requireTreeBytes(t, fmt.Sprintf("step %d", step), trB, nodesA, sinksA)
+	}
+}
+
+// TestECOMoveSinkEmbedding: a moved sink keeps its snaking surplus, so
+// the edge remains a valid embedding at the new location.
+func TestECOMoveSinkEmbedding(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tr := buildBlanket(t, 50, 43, 900, te, lib)
+	eco, err := NewECO(tr, te)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eco.SetState([]Edit{
+		{Op: OpMoveSink, Sink: 7, X: 13.25, Y: 801.5},
+		{Op: OpMoveSink, Sink: 11, X: 0, Y: 0},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Sinks[7].Loc; got != (geom.Point{X: 13.25, Y: 801.5}) {
+		t.Fatalf("sink 7 at %v", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckEmbedding(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECOValidation(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tr := buildBlanket(t, 30, 44, 800, te, lib)
+	nodes0, sinks0 := snapshotTree(tr)
+	eco, err := NewECO(tr, te)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]Edit{
+		{{Op: "teleport", Sink: 0}},
+		{{Op: OpMoveSink, Sink: -1, X: 1, Y: 1}},
+		{{Op: OpMoveSink, Sink: 0, X: math.NaN(), Y: 1}},
+		{{Op: OpMoveSink, Sink: len(tr.Sinks), X: 1, Y: 1}},
+		{{Op: OpSinkCap, Sink: 0, Cap: 0}},
+		{{Op: OpSinkCap, Sink: 0, Cap: math.Inf(1)}},
+		{{Op: OpSinkCap, Sink: 99, Cap: 1e-15}},
+		{{Op: OpSinkRule, Sink: 0, Rule: te.NumRules()}},
+		{{Op: OpNodeRule, Node: len(tr.Nodes), Rule: 0}},
+		{{Op: OpNodeRule, Node: -2, Rule: 0}},
+		{{Op: OpInSlew, InSlewPS: 0}},
+		{{Op: OpInSlew, InSlewPS: math.NaN()}},
+		// One good edit does not excuse a bad one in the same state.
+		{{Op: OpSinkCap, Sink: 0, Cap: 2e-15}, {Op: "warp", Node: 1}},
+	}
+	for i, edits := range bad {
+		if err := eco.SetState(edits, nil); !errors.Is(err, ErrEdit) {
+			t.Errorf("case %d (%v): err = %v, want ErrEdit", i, edits, err)
+		}
+		requireTreeBytes(t, fmt.Sprintf("case %d", i), tr, nodes0, sinks0)
+	}
+	if len(eco.Live()) != 0 {
+		t.Fatalf("rejected states leaked into live: %v", eco.Live())
+	}
+	// Root rule edit is valid and inert.
+	if err := eco.SetState([]Edit{{Op: OpNodeRule, Node: tr.Root, Rule: 0}}, nil); err != nil {
+		t.Fatalf("root rule edit rejected: %v", err)
+	}
+}
+
+// TestECOTouchReportsEditedNodes: the touch hook sees the leaf (or node)
+// behind every apply and revert — the contract the incremental engine
+// depends on for dirty tracking.
+func TestECOTouchReportsEditedNodes(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tr := buildBlanket(t, 40, 45, 900, te, lib)
+	eco, err := NewECO(tr, te)
+	if err != nil {
+		t.Fatal(err)
+	}
+	touched := map[int]int{}
+	touch := func(v int) { touched[v]++ }
+	state := []Edit{
+		{Op: OpSinkCap, Sink: 3, Cap: 2e-15},
+		{Op: OpNodeRule, Node: 5, Rule: 1},
+	}
+	if err := eco.SetState(state, touch); err != nil {
+		t.Fatal(err)
+	}
+	leaf3 := -1
+	for v := range tr.Nodes {
+		if tr.Nodes[v].SinkIdx == 3 {
+			leaf3 = v
+		}
+	}
+	if touched[leaf3] == 0 || touched[5] == 0 {
+		t.Fatalf("apply did not touch edited nodes: %v (leaf3=%d)", touched, leaf3)
+	}
+	touched = map[int]int{}
+	if err := eco.SetState(nil, touch); err != nil {
+		t.Fatal(err)
+	}
+	if touched[leaf3] == 0 || touched[5] == 0 {
+		t.Fatalf("revert did not touch edited nodes: %v (leaf3=%d)", touched, leaf3)
+	}
+	_ = lib
+}

@@ -64,6 +64,12 @@ func DecodeBatchRequest(data []byte) (*BatchRequest, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	// As in DecodeFlowRequest: an explicit empty edit list is no edits.
+	for i := range req.Requests {
+		if len(req.Requests[i].Edits) == 0 {
+			req.Requests[i].Edits = nil
+		}
+	}
 	return &req, nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"reflect"
 	"testing"
+
+	"smartndr/internal/core"
 )
 
 // FuzzDecodeFlowRequest hammers the strict decoder with arbitrary
@@ -131,6 +133,91 @@ func FuzzDecodeSweepRequest(f *testing.F) {
 		k2, err := fr.SweepKey(req2)
 		if err != nil || k1 != k2 {
 			t.Fatalf("content address unstable across round trip: %q vs %q (%v)", k1, k2, err)
+		}
+	})
+}
+
+// FuzzDecodeSessionRequest hammers both session decoders with the same
+// bytes. An accepted create must satisfy the wire contract of the flow
+// decoder (lossless round trip, stable content address) plus the session
+// extensions: a non-negative TTL and a canonical edit state that is a
+// fixpoint (canonicalizing twice changes nothing — the property rev
+// storage and re-hydration rely on). An accepted delta must carry
+// exactly one of edits/rollback_to with validated, bounded edits.
+func FuzzDecodeSessionRequest(f *testing.F) {
+	f.Add([]byte(`{"bench":"cns01"}`))
+	f.Add([]byte(`{"bench":"cns01","ttl_ms":60000}`))
+	f.Add([]byte(`{"spec":{"name":"x","sinks":24,"die_x":600,"die_y":600,"seed":7,"cap_min":1e-15,"cap_max":3e-15},"scheme":"smart-ndr","edits":[{"op":"move_sink","sink":0,"x":10,"y":20},{"op":"sink_cap","sink":1,"cap":2e-15}]}`))
+	f.Add([]byte(`{"bench":"cns02","edits":[{"op":"in_slew","in_slew_ps":55},{"op":"node_rule","node":3,"rule":2},{"op":"sink_rule","sink":3,"rule":1}]}`))
+	f.Add([]byte(`{"edits":[{"op":"move_sink","sink":2,"x":40,"y":55}],"timeout_ms":500}`))
+	f.Add([]byte(`{"rollback_to":0}`))
+	f.Add([]byte(`{"rollback_to":3,"timeout_ms":100}`))
+	f.Add([]byte(`{"edits":[{"op":"move_sink","sink":0,"x":1,"y":1}],"rollback_to":0}`))
+	f.Add([]byte(`{"bench":"cns01","ttl_ms":-4}`))
+	f.Add([]byte(`{"bench":"cns01","bogus":true}`))
+	f.Add([]byte(`{"edits":[{"op":"warp_sink","sink":0}]}`))
+	f.Add([]byte(`{"edits":[{"op":"sink_cap","sink":-1,"cap":1e-15}]}`))
+	f.Add([]byte(`{"bench":"cns01"} trailing`))
+	f.Add([]byte(`not a session request`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := DecodeSessionCreateRequest(data); err == nil {
+			if req.TTLMS < 0 {
+				t.Fatalf("accepted negative ttl_ms %d", req.TTLMS)
+			}
+			if len(req.Edits) > maxRequestEdits {
+				t.Fatalf("accepted %d edits (cap %d)", len(req.Edits), maxRequestEdits)
+			}
+			out, err := json.Marshal(req)
+			if err != nil {
+				t.Fatalf("accepted create does not re-encode: %v", err)
+			}
+			req2, err := DecodeSessionCreateRequest(out)
+			if err != nil {
+				t.Fatalf("re-encoded create rejected: %v\n%s", err, out)
+			}
+			if !reflect.DeepEqual(req, req2) {
+				t.Fatalf("lossy round trip:\n%+v\n%+v", req, req2)
+			}
+			canon := core.CanonicalEdits(req.Edits)
+			if again := core.CanonicalEdits(canon); !reflect.DeepEqual(canon, again) {
+				t.Fatalf("canonical edit state is not a fixpoint:\n%+v\n%+v", canon, again)
+			}
+			fr := &FlowRunner{}
+			k1, err := fr.FlowKey(&req.FlowRequest)
+			if err != nil {
+				t.Fatalf("accepted create has no content address: %v", err)
+			}
+			k2, err := fr.FlowKey(&req2.FlowRequest)
+			if err != nil || k1 != k2 {
+				t.Fatalf("content address unstable across round trip: %q vs %q (%v)", k1, k2, err)
+			}
+		}
+		if req, err := DecodeSessionDeltaRequest(data); err == nil {
+			if (len(req.Edits) > 0) == (req.RollbackTo != nil) {
+				t.Fatalf("accepted delta without exactly one mode: %+v", req)
+			}
+			if req.RollbackTo != nil && *req.RollbackTo < 0 {
+				t.Fatalf("accepted negative rollback_to %d", *req.RollbackTo)
+			}
+			if len(req.Edits) > maxRequestEdits || req.TimeoutMS < 0 {
+				t.Fatalf("accepted out-of-bounds delta: %+v", req)
+			}
+			for i, e := range req.Edits {
+				if e.Validate() != nil {
+					t.Fatalf("accepted delta with invalid edit %d: %+v", i, e)
+				}
+			}
+			out, err := json.Marshal(req)
+			if err != nil {
+				t.Fatalf("accepted delta does not re-encode: %v", err)
+			}
+			req2, err := DecodeSessionDeltaRequest(out)
+			if err != nil {
+				t.Fatalf("re-encoded delta rejected: %v\n%s", err, out)
+			}
+			if !reflect.DeepEqual(req, req2) {
+				t.Fatalf("lossy round trip:\n%+v\n%+v", req, req2)
+			}
 		}
 	})
 }

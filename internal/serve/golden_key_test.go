@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"testing"
+
+	"smartndr"
+	"smartndr/internal/core"
+	"smartndr/internal/workload"
+)
+
+// TestGoldenKeysUnchangedByEditSupport pins content addresses captured
+// before the session/edit feature landed (flow key version v2). Edit-free
+// requests must keep producing exactly these hashes: the edits field is
+// omitempty in the canonical serialization and the v3 version string is
+// stamped only when the canonical edit state is non-empty, so every
+// pre-existing flow, sweep, and batch cache entry stays addressable. If
+// this test fails, a serialization change silently invalidated every
+// deployed cache.
+func TestGoldenKeysUnchangedByEditSupport(t *testing.T) {
+	fr := &FlowRunner{}
+	spec := workload.Spec{Name: "gold", Dist: workload.Uniform, Sinks: 48,
+		DieX: 900, DieY: 700, CapMin: 1e-15, CapMax: 4e-15, Seed: 7}
+	flows := []struct {
+		req  *FlowRequest
+		want string
+	}{
+		{&FlowRequest{Bench: "cns01", Scheme: "smart-ndr"},
+			"c99f758fd4e2ea7238f19777dc4a852234335be67fa8bf3a29368a3a558ae227"},
+		{&FlowRequest{Bench: "cns03", Scheme: "blanket-ndr", Tech: "tech65", TopK: 3, InSlewPS: 60},
+			"19599aeab93466c924ee19eeb6286cb94bc82ee06920ab43cff6cc4ccbdc6e16"},
+		{&FlowRequest{Spec: &spec, Scheme: "top-k", TopK: 4},
+			"45317fdc6d721c0ad99fa5ce0ffa36db0bd444ebce41d050eb27836b22addd30"},
+		{&FlowRequest{Spec: &spec, Scheme: "smart-ndr", MaxRegionSinks: 32, SkewSplit: 0.6},
+			"cf0bc7cbdf48fa9abe4336a0ba92d31630f34c22ea6f5220c05c3e1ce200f55c"},
+	}
+	for i, c := range flows {
+		got, err := fr.FlowKey(c.req)
+		if err != nil {
+			t.Fatalf("flow[%d]: %v", i, err)
+		}
+		if got != c.want {
+			t.Errorf("flow[%d] key = %s, want golden %s", i, got, c.want)
+		}
+	}
+
+	sw := &SweepRequest{Bench: "cns02", Arms: []SweepArm{
+		{Scheme: "smart-ndr"}, {Scheme: "blanket-ndr", Corner: "slow"}}, InSlewPS: 50}
+	got, err := fr.SweepKey(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "919ddc789e27a496c87dc1498b79475d590bb9a4ff4843c8225fee9ed64f6272"; got != want {
+		t.Errorf("sweep key = %s, want golden %s", got, want)
+	}
+
+	k0, err := fr.FlowKey(flows[0].req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := fr.FlowKey(flows[2].req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := batchKey([]string{k0, k2}),
+		"5f1022cea353a47bf5a6c5ebc8277fa83583ae2445e7fbf65afba4f07358d9c6"; got != want {
+		t.Errorf("batch key = %s, want golden %s", got, want)
+	}
+}
+
+// TestEditKeysVersioned checks the other half of the key contract: an
+// absent, nil, or canonically-empty edit list all land on the frozen v2
+// address, while any real edit state moves to a distinct v3 address that
+// is itself insensitive to edit-list spelling (ordering, shadowed
+// duplicates).
+func TestEditKeysVersioned(t *testing.T) {
+	fr := &FlowRunner{}
+	base := FlowRequest{Bench: "cns01", Scheme: "smart-ndr"}
+	baseKey, err := fr.FlowKey(&base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	empty := base
+	empty.Edits = []smartndr.Edit{}
+	emptyKey, err := fr.FlowKey(&empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emptyKey != baseKey {
+		t.Errorf("empty edit list changed the key: %s vs %s", emptyKey, baseKey)
+	}
+
+	edited := base
+	edited.Edits = []smartndr.Edit{{Op: core.OpSinkCap, Sink: 2, Cap: 2e-15}}
+	editedKey, err := fr.FlowKey(&edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if editedKey == baseKey {
+		t.Error("edit state did not change the content address")
+	}
+
+	// A shadowed duplicate plus reordering canonicalizes to the same
+	// state, so the same address.
+	spelled := base
+	spelled.Edits = []smartndr.Edit{
+		{Op: core.OpSinkCap, Sink: 2, Cap: 9e-15}, // shadowed by the later write
+		{Op: core.OpSinkCap, Sink: 2, Cap: 2e-15},
+	}
+	spelledKey, err := fr.FlowKey(&spelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spelledKey != editedKey {
+		t.Errorf("canonically equal edit states got different keys: %s vs %s", spelledKey, editedKey)
+	}
+}

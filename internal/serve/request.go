@@ -43,6 +43,11 @@ type FlowRequest struct {
 	// 0 means the engine default (0.5). Only meaningful with
 	// MaxRegionSinks.
 	SkewSplit float64 `json:"skew_split,omitempty"`
+	// Edits is a post-synthesis ECO state applied after the scheme (see
+	// the session API, docs/service.md): the tree is built and optimized
+	// unedited, then these edits land and metrics are re-evaluated. The
+	// canonical key covers the canonicalized edit state.
+	Edits []smartndr.Edit `json:"edits,omitempty"`
 }
 
 // SweepArm is one (scheme, corner) cell of a sweep: the scheme is
@@ -129,6 +134,11 @@ func DecodeFlowRequest(data []byte) (*FlowRequest, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	// An explicit empty edit list means the same as no edits; normalize
+	// so the round trip through omitempty serialization is lossless.
+	if len(req.Edits) == 0 {
+		req.Edits = nil
+	}
 	return &req, nil
 }
 
@@ -183,8 +193,20 @@ func (r *FlowRequest) Validate() error {
 	if r.SkewSplit != 0 && (r.SkewSplit < 0 || r.SkewSplit >= 1) {
 		return fmt.Errorf("serve: skew_split %g out of (0,1)", r.SkewSplit)
 	}
+	if len(r.Edits) > maxRequestEdits {
+		return fmt.Errorf("serve: %d edits exceeds the %d-edit limit", len(r.Edits), maxRequestEdits)
+	}
+	for i, e := range r.Edits {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("serve: edit %d: %w", i, err)
+		}
+	}
 	return nil
 }
+
+// maxRequestEdits bounds the edit list one request may carry; canonical
+// states beyond it should live in a session, not a request body.
+const maxRequestEdits = 4096
 
 // Validate checks the sweep request's shape.
 func (r *SweepRequest) Validate() error {

@@ -58,7 +58,7 @@ func (fr *FlowRunner) FlowKey(req *FlowRequest) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return smartndr.NewFlow(cfg).CanonicalKey(spec, scheme)
+	return smartndr.NewFlow(cfg).CanonicalKeyEdits(spec, scheme, req.Edits)
 }
 
 // RunFlow implements Runner: generate → build → apply through the
@@ -78,11 +78,11 @@ func (fr *FlowRunner) RunFlow(ctx context.Context, req *FlowRequest, tr *obs.Tra
 	}
 	cfg.Tracer = tr
 	flow := smartndr.NewFlow(cfg)
-	key, err := flow.CanonicalKey(spec, scheme)
+	key, err := flow.CanonicalKeyEdits(spec, scheme, req.Edits)
 	if err != nil {
 		return nil, err
 	}
-	built, res, err := flow.RunSpec(ctx, spec, scheme)
+	built, res, err := flow.RunSpecEdits(ctx, spec, scheme, req.Edits)
 	if err != nil {
 		return nil, err
 	}
@@ -98,6 +98,111 @@ func (fr *FlowRunner) RunFlow(ctx context.Context, req *FlowRequest, tr *obs.Tra
 		Stats:    res.Stats,
 	}, nil
 }
+
+// SessionRunner is the optional Runner extension behind POST /v1/session.
+// Runners that cannot host stateful sessions (or only host them on a
+// different node) simply don't implement it and the server answers 501.
+type SessionRunner interface {
+	// OpenSession runs the request cold and returns a handle holding the
+	// built tree and a primed dirty-region engine. The handle must NOT
+	// retain tr — it outlives the request; tr only scopes the open
+	// itself.
+	OpenSession(ctx context.Context, req *FlowRequest, tr *obs.Tracer) (SessionHandle, error)
+}
+
+// SessionHandle is one live session. The server serializes Apply calls
+// per session (single writer); the other methods are read-only and may
+// run concurrently with each other but not with Apply.
+type SessionHandle interface {
+	// Apply moves the session to the given absolute canonical edit state
+	// (nil = pristine), re-evaluates through the dirty-region engine, and
+	// returns the exact response body a cold /v1/flow of the equivalently
+	// edited request would produce, plus its content address.
+	Apply(ctx context.Context, edits []smartndr.Edit) (body []byte, key string, err error)
+	// Key returns the content address of a hypothetical edit state
+	// without applying it.
+	Key(edits []smartndr.Edit) (string, error)
+	// Live returns the canonical edit state currently applied.
+	Live() []smartndr.Edit
+	// Nodes is the tree's node count — the valid range for node-indexed
+	// edits, surfaced so clients can generate them.
+	Nodes() int
+	// MemoryBytes estimates resident footprint for store accounting.
+	MemoryBytes() int64
+}
+
+// OpenSession implements SessionRunner on the production runner. The
+// session's flow deliberately carries no tracer: the session outlives
+// the creating request, and the engine's ambient span stack is only
+// meaningful on one goroutine.
+func (fr *FlowRunner) OpenSession(ctx context.Context, req *FlowRequest, tr *obs.Tracer) (SessionHandle, error) {
+	cfg, err := req.flowConfig()
+	if err != nil {
+		return nil, err
+	}
+	spec, err := resolveSpec(req.Bench, req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := ParseScheme(req.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	sp := tr.Start("serve.session_open", obs.S("scheme", scheme.String()))
+	defer sp.End()
+	sess, err := smartndr.NewFlow(cfg).OpenSession(ctx, spec, scheme)
+	if err != nil {
+		return nil, err
+	}
+	built := sess.Built()
+	return &flowSessionHandle{
+		sess: sess,
+		resp: FlowResponse{
+			Bench:    workloadName(req.Bench, req.Spec),
+			Scheme:   scheme.String(),
+			Tech:     cfg.Tech.Name,
+			Sinks:    spec.Sinks,
+			Buffers:  built.Buffers,
+			Clusters: built.NumClusters,
+			Stats:    sess.Result().Stats,
+		},
+	}, nil
+}
+
+// flowSessionHandle adapts a smartndr.FlowSession to the wire: every
+// Apply re-marshals the same FlowResponse shape RunFlow produces, so the
+// bytes are interchangeable with a cold run's by construction.
+type flowSessionHandle struct {
+	sess *smartndr.FlowSession
+	resp FlowResponse // immutable template; Key/Metrics filled per state
+}
+
+func (h *flowSessionHandle) Apply(ctx context.Context, edits []smartndr.Edit) ([]byte, string, error) {
+	m, err := h.sess.ApplyState(ctx, edits)
+	if err != nil {
+		return nil, "", err
+	}
+	key, err := h.sess.Key(edits)
+	if err != nil {
+		return nil, "", err
+	}
+	r := h.resp
+	r.Key = key
+	r.Metrics = m
+	// Stats reports the pristine-tree optimization — edits are
+	// post-synthesis, so a cold run of the edited spec returns the same
+	// stats; see Flow.RunSpecEdits.
+	b, err := json.Marshal(&r)
+	if err != nil {
+		return nil, "", err
+	}
+	return b, key, nil
+}
+
+func (h *flowSessionHandle) Key(edits []smartndr.Edit) (string, error) { return h.sess.Key(edits) }
+func (h *flowSessionHandle) Live() []smartndr.Edit                     { return h.sess.Live() }
+func (h *flowSessionHandle) Nodes() int                                { return h.sess.Nodes() }
+func (h *flowSessionHandle) MemoryBytes() int64                        { return h.sess.MemoryBytes() }
 
 // sweepKeyVersion prefixes sweep content addresses; bump on any change
 // to the sweep result format or semantics.

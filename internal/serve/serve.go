@@ -8,8 +8,11 @@
 //	POST /v1/flow    run one benchmark through one scheme → metrics
 //	POST /v1/sweep   scheme×corner arm batch against one shared tree
 //	POST /v1/batch   many flow requests, one round trip, index-ordered
+//	POST /v1/session          open a stateful design session (see below)
+//	POST /v1/session/{id}/delta  apply edits / roll back, re-evaluate warm
+//	GET  /v1/session/{id}     session state (rev, key); DELETE closes it
 //	GET  /v1/healthz liveness (503 while draining)
-//	GET  /v1/statsz  counters, cache and admission state, uptime
+//	GET  /v1/statsz  counters, cache and admission state, session counts
 //
 // Three service properties hold regardless of the engine underneath:
 //
@@ -25,6 +28,17 @@
 //   - Graceful drain. Drain stops admission (503 + Retry-After),
 //     lets in-flight requests finish, and then returns, so SIGTERM
 //     never truncates a run.
+//
+// Sessions are the exception to statelessness: POST /v1/session builds
+// one tree, keeps it live with a dirty-region STA engine, and applies
+// serialized edit deltas in microseconds. The Result field of every
+// session response is still content-addressed — byte-identical to a
+// cold /v1/flow of the equivalently edited request (the session-replay
+// differential suite enforces this) — so only the session envelope
+// (IDs, rev counters) is stateful. The store evicts idle sessions by
+// TTL and least-recently-used ones under memory pressure; clients
+// re-hydrate by re-creating with their last edit state, landing on the
+// same content addresses.
 //
 // Responses carry no volatile fields — cache outcome (hit|miss|shared)
 // travels in the X-Cache header and on the request's span tree, which
@@ -91,6 +105,16 @@ type Config struct {
 	// span trees: half holds the slowest requests seen, half a ring of
 	// the most recent. 0 disables the endpoint.
 	TracezCapacity int
+	// SessionTTL is the idle lifetime of a design session; each use
+	// resets the clock (default 15m). Requests may shorten their own
+	// session's TTL via ttl_ms but never extend past this.
+	SessionTTL time.Duration
+	// MaxSessions caps live sessions; the least recently used is
+	// evicted to admit a new one (default 64).
+	MaxSessions int
+	// SessionMaxBytes soft-caps the summed memory estimate of live
+	// sessions (default 256 MiB); LRU eviction keeps the total under it.
+	SessionMaxBytes int64
 	// Now overrides the clock (tests). Nil uses the real clock.
 	Now func() time.Time
 }
@@ -123,6 +147,7 @@ type Server struct {
 	spanObs    *obs.SpanObserver
 	tracez     *TraceBuffer
 	lat        map[string]map[string]*obs.Histogram // endpoint → class → histogram
+	sessions   *sessionStore
 	maxBody    int64
 	timeout    time.Duration
 	retryAfter time.Duration
@@ -156,6 +181,15 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = defaultMaxBodyBytes
 	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = defaultSessionTTL
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = defaultMaxSessions
+	}
+	if cfg.SessionMaxBytes <= 0 {
+		cfg.SessionMaxBytes = defaultSessionMaxBytes
+	}
 	if cfg.Runner == nil {
 		cfg.Runner = &FlowRunner{Workers: cfg.Workers}
 	}
@@ -180,6 +214,7 @@ func New(cfg Config) *Server {
 	}
 	s.start = s.now()
 	s.cache = NewCache(cfg.CacheEntries, s.reg)
+	s.sessions = newSessionStore(cfg.SessionTTL, cfg.MaxSessions, cfg.SessionMaxBytes, s.now, s.reg)
 	s.spanObs = cfg.SpanObs
 	if cfg.TracezCapacity > 0 {
 		s.tracez = NewTraceBuffer(cfg.TracezCapacity)
@@ -207,11 +242,32 @@ func New(cfg Config) *Server {
 			latRefused: reg.Histogram("serve.batch_refused_seconds"),
 			latError:   reg.Histogram("serve.batch_error_seconds"),
 		},
+		epSessionCreate: {
+			latCold:    reg.Histogram("serve.session_create_cold_seconds"),
+			latHit:     reg.Histogram("serve.session_create_hit_seconds"),
+			latRefused: reg.Histogram("serve.session_create_refused_seconds"),
+			latError:   reg.Histogram("serve.session_create_error_seconds"),
+		},
+		epSessionDelta: {
+			latCold:    reg.Histogram("serve.session_delta_cold_seconds"),
+			latHit:     reg.Histogram("serve.session_delta_hit_seconds"),
+			latRefused: reg.Histogram("serve.session_delta_refused_seconds"),
+			latError:   reg.Histogram("serve.session_delta_error_seconds"),
+		},
+		epSessionRead: {
+			latCold:    reg.Histogram("serve.session_read_cold_seconds"),
+			latHit:     reg.Histogram("serve.session_read_hit_seconds"),
+			latRefused: reg.Histogram("serve.session_read_refused_seconds"),
+			latError:   reg.Histogram("serve.session_read_error_seconds"),
+		},
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/flow", s.handleFlow)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/session", s.handleSessionCreate)
+	s.mux.HandleFunc("/v1/session/{id}", s.handleSessionByID)
+	s.mux.HandleFunc("/v1/session/{id}/delta", s.handleSessionDelta)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/statsz", s.handleStatsz)
 	s.mux.HandleFunc("/v1/tracez", s.handleTracez)
@@ -505,7 +561,10 @@ type Statsz struct {
 	CacheBalance float64          `json:"cache_balance,omitempty"`
 	// Shards is the cluster backend view, present when the runner
 	// routes across a fleet (see ShardStatser).
-	Shards   []ShardStat               `json:"shards,omitempty"`
+	Shards []ShardStat `json:"shards,omitempty"`
+	// Sessions is the design-session store: live count and memory
+	// footprint against their budgets.
+	Sessions SessionStats              `json:"sessions"`
 	Counters map[string]float64        `json:"counters,omitempty"`
 	Latency  map[string]LatencySummary `json:"latency,omitempty"`
 }
@@ -564,6 +623,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		CacheCap:     s.cache.Cap(),
 		CacheShards:  s.cache.ShardStats(),
 		CacheBalance: s.cache.Balance(),
+		Sessions:     s.sessions.stats(),
 		Counters:     s.reg.Snapshot(),
 		Latency:      s.latencySummaries(),
 	}

@@ -1,0 +1,573 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"smartndr"
+	"smartndr/internal/core"
+	"smartndr/internal/obs"
+	"smartndr/internal/par"
+)
+
+// Session endpoints (histogram names are serve.<endpoint>_<class>_seconds).
+const (
+	epSessionCreate = "session_create"
+	epSessionDelta  = "session_delta"
+	epSessionRead   = "session_read"
+)
+
+// Session store defaults (Config.SessionTTL, MaxSessions, SessionMaxBytes).
+const (
+	defaultSessionTTL      = 15 * time.Minute
+	defaultMaxSessions     = 64
+	defaultSessionMaxBytes = 256 << 20
+)
+
+// SessionCreateRequest is the wire form of POST /v1/session: the same
+// shape as /v1/flow (including optional initial edits — re-hydrating an
+// evicted session is a create carrying its last edit state), plus a TTL.
+type SessionCreateRequest struct {
+	FlowRequest
+	// TTLMS overrides the server's idle TTL for this session, in
+	// milliseconds; it can shorten but never extend the server bound.
+	TTLMS int `json:"ttl_ms,omitempty"`
+}
+
+// SessionDeltaRequest is the wire form of POST /v1/session/{id}/delta.
+// Exactly one of Edits (apply on top of the current state) or RollbackTo
+// (jump back to an earlier rev) must be present.
+type SessionDeltaRequest struct {
+	Edits []smartndr.Edit `json:"edits,omitempty"`
+	// RollbackTo names an earlier rev (0 = the create state); the
+	// session returns to that state and records the visit as a new rev.
+	RollbackTo *int `json:"rollback_to,omitempty"`
+	TimeoutMS  int  `json:"timeout_ms,omitempty"`
+}
+
+// SessionResponse is the body of every successful session call. Result
+// is the exact /v1/flow response body for the session's current edit
+// state — byte-identical to a cold run — while the envelope fields are
+// session-local (IDs and rev counters follow allocation order, so they
+// are the one part of the session API that is not content-addressed).
+type SessionResponse struct {
+	Session string          `json:"session"`
+	Rev     int             `json:"rev"`
+	Revs    int             `json:"revs"`
+	Key     string          `json:"key"`
+	Nodes   int             `json:"nodes"`
+	Result  json.RawMessage `json:"result,omitempty"`
+}
+
+// SessionStats is the /v1/statsz session view.
+type SessionStats struct {
+	Live        int   `json:"live"`
+	MaxSessions int   `json:"max_sessions"`
+	Bytes       int64 `json:"bytes"`
+	MaxBytes    int64 `json:"max_bytes"`
+}
+
+// DecodeSessionCreateRequest parses and validates a /v1/session body.
+func DecodeSessionCreateRequest(data []byte) (*SessionCreateRequest, error) {
+	var req SessionCreateRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return nil, err
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if req.TTLMS < 0 {
+		return nil, fmt.Errorf("serve: negative ttl_ms %d", req.TTLMS)
+	}
+	// As in DecodeFlowRequest: an explicit empty edit list is no edits.
+	if len(req.Edits) == 0 {
+		req.Edits = nil
+	}
+	return &req, nil
+}
+
+// DecodeSessionDeltaRequest parses and validates a delta body.
+func DecodeSessionDeltaRequest(data []byte) (*SessionDeltaRequest, error) {
+	var req SessionDeltaRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return nil, err
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if len(req.Edits) == 0 {
+		req.Edits = nil
+	}
+	return &req, nil
+}
+
+// Validate checks the delta's shape without touching a session.
+func (r *SessionDeltaRequest) Validate() error {
+	if len(r.Edits) > 0 && r.RollbackTo != nil {
+		return fmt.Errorf("serve: edits and rollback_to are mutually exclusive")
+	}
+	if len(r.Edits) == 0 && r.RollbackTo == nil {
+		return fmt.Errorf("serve: delta needs edits or rollback_to")
+	}
+	if r.RollbackTo != nil && *r.RollbackTo < 0 {
+		return fmt.Errorf("serve: negative rollback_to %d", *r.RollbackTo)
+	}
+	if len(r.Edits) > maxRequestEdits {
+		return fmt.Errorf("serve: %d edits exceeds the %d-edit limit", len(r.Edits), maxRequestEdits)
+	}
+	for i, e := range r.Edits {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("serve: edit %d: %w", i, err)
+		}
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("serve: negative timeout_ms %d", r.TimeoutMS)
+	}
+	return nil
+}
+
+// sessionRev is one visited edit state. Only the canonical edit list and
+// its address are kept — rollback re-applies the state and re-evaluates,
+// which the engine's bitwise contract makes byte-equivalent to (and far
+// smaller than) storing response bodies.
+type sessionRev struct {
+	edits []smartndr.Edit
+	key   string
+}
+
+// session is one store entry. The store's lock covers placement (map,
+// LRU list, byte accounting); mu covers the handle and rev history —
+// deltas take the write side (single writer per session), reads the read
+// side. An evicted session's in-flight delta still completes: eviction
+// only unlinks the entry, it never touches the handle.
+type session struct {
+	id     string
+	handle SessionHandle
+
+	mu   sync.RWMutex
+	revs []sessionRev
+
+	// The fields below are guarded by the store lock, not mu.
+	expiry time.Time
+	ttl    time.Duration
+	bytes  int64
+	elem   *list.Element
+	gone   bool // evicted or closed; kept for observability in tests
+}
+
+// sessionStore owns the live sessions: TTL expiry (lazy, via the
+// injected clock — no background goroutine to leak or to fake in tests),
+// LRU eviction under session-count and memory pressure, and gauge
+// upkeep. All methods are safe for concurrent use.
+type sessionStore struct {
+	mu          sync.Mutex
+	byID        map[string]*session
+	lru         *list.List // front = most recently used
+	ttl         time.Duration
+	maxSessions int
+	maxBytes    int64
+	bytes       int64
+	seq         int64
+	now         func() time.Time
+	reg         *obs.Registry
+}
+
+func newSessionStore(ttl time.Duration, maxSessions int, maxBytes int64,
+	now func() time.Time, reg *obs.Registry) *sessionStore {
+	return &sessionStore{
+		byID:        make(map[string]*session),
+		lru:         list.New(),
+		ttl:         ttl,
+		maxSessions: maxSessions,
+		maxBytes:    maxBytes,
+		now:         now,
+		reg:         reg,
+	}
+}
+
+// gauges refreshes the live-session gauges; callers hold st.mu.
+func (st *sessionStore) gauges() {
+	st.reg.Set("serve.session_live", float64(len(st.byID)))
+	st.reg.Set("serve.session_bytes", float64(st.bytes))
+}
+
+// dropLocked unlinks a session; callers hold st.mu and account the
+// removal under its own counter.
+func (st *sessionStore) dropLocked(s *session) {
+	delete(st.byID, s.id)
+	st.lru.Remove(s.elem)
+	st.bytes -= s.bytes
+	s.gone = true
+}
+
+// expireLocked retires every idle-expired session. TTLs refresh on use,
+// so for a uniform TTL the LRU order is expiry order; mixed per-session
+// TTLs make the back-of-list scan conservative (a short-TTL session
+// behind a long-TTL one outlives its deadline until the next add/get —
+// lazy expiry trades that slack for having no background sweeper).
+func (st *sessionStore) expireLocked(now time.Time) {
+	for e := st.lru.Back(); e != nil; {
+		s := e.Value.(*session)
+		e = e.Prev()
+		if now.Before(s.expiry) {
+			continue
+		}
+		st.dropLocked(s)
+		st.reg.Add("serve.session_expired", 1)
+	}
+}
+
+// add stores a new session and returns its entry, evicting LRU entries
+// as needed to respect the session-count and byte budgets. A session
+// bigger than the whole byte budget is still admitted — alone — because
+// refusing it forever would make large specs un-sessionable; the budget
+// is a soft target, not an allocator.
+func (st *sessionStore) add(h SessionHandle, ttl time.Duration, state []smartndr.Edit, key string) *session {
+	if ttl <= 0 || ttl > st.ttl {
+		ttl = st.ttl
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := st.now()
+	st.expireLocked(now)
+	bytes := h.MemoryBytes()
+	for len(st.byID) > 0 &&
+		(len(st.byID) >= st.maxSessions || st.bytes+bytes > st.maxBytes) {
+		st.dropLocked(st.lru.Back().Value.(*session))
+		st.reg.Add("serve.session_evicted", 1)
+	}
+	st.seq++
+	s := &session{
+		id:     fmt.Sprintf("s%d", st.seq),
+		handle: h,
+		revs:   []sessionRev{{edits: state, key: key}},
+		expiry: now.Add(ttl),
+		ttl:    ttl,
+		bytes:  bytes,
+	}
+	s.elem = st.lru.PushFront(s)
+	st.byID[s.id] = s
+	st.bytes += bytes
+	st.reg.Add("serve.session_created", 1)
+	st.gauges()
+	return s
+}
+
+// get returns a live session, refreshing its TTL and recency, or nil if
+// the ID is unknown or idle-expired.
+func (st *sessionStore) get(id string) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := st.now()
+	st.expireLocked(now)
+	st.gauges()
+	s := st.byID[id]
+	if s == nil {
+		return nil
+	}
+	s.expiry = now.Add(s.ttl)
+	st.lru.MoveToFront(s.elem)
+	return s
+}
+
+// remove closes a session by ID; reports whether it was live.
+func (st *sessionStore) remove(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := st.byID[id]
+	if s == nil {
+		return false
+	}
+	st.dropLocked(s)
+	st.reg.Add("serve.session_closed", 1)
+	st.gauges()
+	return true
+}
+
+// stats snapshots the store for /v1/statsz.
+func (st *sessionStore) stats() SessionStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.expireLocked(st.now())
+	st.gauges()
+	return SessionStats{
+		Live:        len(st.byID),
+		MaxSessions: st.maxSessions,
+		Bytes:       st.bytes,
+		MaxBytes:    st.maxBytes,
+	}
+}
+
+// sessionWork executes one admitted, decoded session request and
+// returns the response or (status, error).
+type sessionWork func(rtr *obs.Tracer, body []byte) (*SessionResponse, int, error)
+
+// handleSession is the shared session request path, mirroring handleRun:
+// deferred histogram + tracez record, method check, admission, scoped
+// tracer, bounded body read, then the endpoint work. Session responses
+// are stateful (rev counters), so there is no result cache — the
+// admission gate is the only throughput control. okOutcome is the cache
+// class a 200 lands in: "" (cold) for work that runs the engine,
+// CacheHit for pure state reads.
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request,
+	method, endpoint, okOutcome string, work sessionWork) {
+
+	t0 := s.now()
+	var (
+		reqID   int64
+		status  int
+		key     string
+		outcome string
+		col     *obs.Collector
+	)
+	defer func() {
+		d := s.now().Sub(t0)
+		class := latencyClass(status, outcome)
+		if h := s.lat[endpoint][class]; h != nil {
+			h.Observe(d.Seconds())
+		}
+		if s.tracez != nil {
+			var evs []obs.SpanEvent
+			if col != nil {
+				evs = col.Events()
+			}
+			s.tracez.Add(TraceRecord{
+				Req: reqID, Endpoint: endpoint, Key: key, Outcome: class,
+				Cache: outcome, Status: status, DurNS: d.Nanoseconds(),
+				Spans: buildSpanTree(evs),
+			})
+		}
+	}()
+
+	if r.Method != method {
+		status = http.StatusMethodNotAllowed
+		s.writeError(w, nil, status, fmt.Errorf("serve: %s needs %s", r.URL.Path, method))
+		return
+	}
+	if !s.admit() {
+		status = http.StatusServiceUnavailable
+		s.refuse(w, nil, status, "draining")
+		return
+	}
+	defer s.depart()
+	s.reg.Add("serve.requests", 1)
+
+	reqID = s.reqID.Add(1)
+	rtr := s.tr.Scoped()
+	if s.tracez != nil && s.tr.Enabled() {
+		col = obs.NewCollector()
+		rtr = s.tr.ScopedTee(col)
+	}
+	sp := rtr.Start("serve."+endpoint, obs.I("req", int(reqID)))
+	defer sp.End()
+
+	var body []byte
+	if method == http.MethodPost {
+		var err error
+		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				status = http.StatusRequestEntityTooLarge
+				s.writeError(w, sp, status,
+					fmt.Errorf("serve: request body exceeds %d bytes", tooLarge.Limit))
+				return
+			}
+			status = http.StatusBadRequest
+			s.writeError(w, sp, status, fmt.Errorf("serve: reading body: %w", err))
+			return
+		}
+	}
+	resp, failStatus, err := work(rtr, body)
+	if err != nil {
+		status = failStatus
+		switch status {
+		case http.StatusTooManyRequests:
+			s.reg.Add("serve.saturated", 1)
+			s.refuse(w, sp, status, "saturated")
+		case http.StatusGatewayTimeout:
+			s.reg.Add("serve.timeouts", 1)
+			s.writeError(w, sp, status, err)
+		default:
+			s.writeError(w, sp, status, err)
+		}
+		return
+	}
+	key = resp.Key
+	outcome = okOutcome
+	sp.Set("key", key)
+	sp.Set("session", resp.Session)
+	status = http.StatusOK
+	sp.Set("status", http.StatusOK)
+	sp.Set("cache", outcome)
+	out, err := json.Marshal(resp)
+	if err != nil {
+		status = http.StatusInternalServerError
+		s.writeError(w, sp, status, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", outcome)
+	w.Header().Set("X-Key", key)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(out)
+}
+
+// mapRunError classifies an engine/gate error the way handleRun does,
+// with the session-specific addition that edit-validation failures
+// (core.ErrEdit) are the client's fault.
+func mapRunError(err error) int {
+	switch {
+	case errors.Is(err, par.ErrSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, core.ErrEdit):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleSessionCreate serves POST /v1/session: open the flow cold
+// (gated — it is a full synthesis), apply the initial edit state, store
+// the session at rev 0.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	s.handleSession(w, r, http.MethodPost, epSessionCreate, "", func(rtr *obs.Tracer, body []byte) (*SessionResponse, int, error) {
+		req, err := DecodeSessionCreateRequest(body)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		sr, ok := s.runner.(SessionRunner)
+		if !ok {
+			return nil, http.StatusNotImplemented,
+				fmt.Errorf("serve: this runner does not host sessions")
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.resolveTimeout(req.TimeoutMS))
+		defer cancel()
+		release, err := s.gate.Acquire(ctx)
+		if err != nil {
+			return nil, mapRunError(err), err
+		}
+		defer release()
+		h, err := sr.OpenSession(ctx, &req.FlowRequest, rtr)
+		if err != nil {
+			return nil, mapRunError(err), err
+		}
+		state := core.CanonicalEdits(req.Edits)
+		result, key, err := h.Apply(ctx, state)
+		if err != nil {
+			return nil, mapRunError(err), err
+		}
+		sess := s.sessions.add(h, time.Duration(req.TTLMS)*time.Millisecond, state, key)
+		return &SessionResponse{
+			Session: sess.id,
+			Rev:     0,
+			Revs:    1,
+			Key:     key,
+			Nodes:   h.Nodes(),
+			Result:  result,
+		}, 0, nil
+	})
+}
+
+// handleSessionDelta serves POST /v1/session/{id}/delta: resolve the
+// target edit state (stacked edits or a rollback), apply it under the
+// session's writer lock, record the new rev.
+func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
+	s.handleSession(w, r, http.MethodPost, epSessionDelta, "", func(rtr *obs.Tracer, body []byte) (*SessionResponse, int, error) {
+		req, err := DecodeSessionDeltaRequest(body)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		id := r.PathValue("id")
+		sess := s.sessions.get(id)
+		if sess == nil {
+			return nil, http.StatusNotFound,
+				fmt.Errorf("serve: no session %q (expired or never created)", id)
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.resolveTimeout(req.TimeoutMS))
+		defer cancel()
+		release, err := s.gate.Acquire(ctx)
+		if err != nil {
+			return nil, mapRunError(err), err
+		}
+		defer release()
+		sp := rtr.Start("serve.session_apply", obs.I("edits", len(req.Edits)))
+		defer sp.End()
+		// Single writer: resolving the target state, the edit itself,
+		// and the rev append are one critical section, so concurrent
+		// deltas serialize and each sees the other's revs.
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+		var state []smartndr.Edit
+		if rb := req.RollbackTo; rb != nil {
+			if *rb >= len(sess.revs) {
+				return nil, http.StatusBadRequest,
+					fmt.Errorf("%w: rollback_to %d beyond rev %d", core.ErrEdit, *rb, len(sess.revs)-1)
+			}
+			state = sess.revs[*rb].edits
+			s.reg.Add("serve.session_rollbacks", 1)
+		} else {
+			cur := sess.revs[len(sess.revs)-1].edits
+			state = core.CanonicalEdits(append(append([]smartndr.Edit{}, cur...), req.Edits...))
+		}
+		result, key, err := sess.handle.Apply(ctx, state)
+		if err != nil {
+			return nil, mapRunError(err), err
+		}
+		sess.revs = append(sess.revs, sessionRev{edits: state, key: key})
+		s.reg.Add("serve.session_deltas", 1)
+		return &SessionResponse{
+			Session: sess.id,
+			Rev:     len(sess.revs) - 1,
+			Revs:    len(sess.revs),
+			Key:     key,
+			Nodes:   sess.handle.Nodes(),
+			Result:  result,
+		}, 0, nil
+	})
+}
+
+// handleSessionByID serves GET (cheap state read, no engine work) and
+// DELETE (close now instead of waiting out the TTL) on /v1/session/{id}.
+func (s *Server) handleSessionByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodDelete {
+		id := r.PathValue("id")
+		if !s.sessions.remove(id) {
+			s.writeError(w, nil, http.StatusNotFound,
+				fmt.Errorf("serve: no session %q (expired or never created)", id))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]string{"closed": id})
+		return
+	}
+	s.handleSession(w, r, http.MethodGet, epSessionRead, CacheHit, func(rtr *obs.Tracer, body []byte) (*SessionResponse, int, error) {
+		id := r.PathValue("id")
+		sess := s.sessions.get(id)
+		if sess == nil {
+			return nil, http.StatusNotFound,
+				fmt.Errorf("serve: no session %q (expired or never created)", id)
+		}
+		sess.mu.RLock()
+		defer sess.mu.RUnlock()
+		rev := len(sess.revs) - 1
+		return &SessionResponse{
+			Session: sess.id,
+			Rev:     rev,
+			Revs:    len(sess.revs),
+			Key:     sess.revs[rev].key,
+			Nodes:   sess.handle.Nodes(),
+		}, 0, nil
+	})
+}

@@ -29,6 +29,9 @@ import (
 //     (capacitive effects never escape a stage — buffer input pins
 //     terminate the accumulation, so one bottom-up stage rebuild is the
 //     whole upstream chain);
+//   - a sink pin-cap edit on an unbuffered leaf updates the endpoint cap
+//     the leaf presents to its stage and marks that stage cap-dirty,
+//     exactly like a wire edit (design sessions edit sink caps in place);
 //   - a buffer resize updates the endpoint cap it presents to its parent
 //     stage (cap-dirty) and marks its own stage delay-dirty;
 //   - timing then re-propagates top-down from the dirty stages, in
@@ -144,8 +147,9 @@ func (inc *Incremental) Invalidate() {
 	inc.clearPending()
 }
 
-// Touch reports that node v was edited (rule, edge length, or buffer
-// index) since the last Analyze. Touching an unedited node is harmless;
+// Touch reports that node v was edited (rule, edge length, buffer
+// index, or — for an unbuffered leaf — its sink's pin cap) since the
+// last Analyze. Touching an unedited node is harmless;
 // out-of-range nodes invalidate the cache (the tree evidently changed
 // shape). Reverted edits need no Touch if the value is back to what the
 // last analysis saw — Touch-then-revert is also fine, the update just
@@ -333,11 +337,20 @@ func (inc *Incremental) update(t *ctree.Tree) bool {
 	}
 	visits := 0
 
-	wireDirty, bufDirty := false, false
+	wireDirty, bufDirty, sinkDirty := false, false, false
 	for _, v := range inc.pending {
 		nd := &t.Nodes[v]
 		if (inc.bufIdx[v] == ctree.NoBuf) != (nd.BufIdx == ctree.NoBuf) {
 			return false // buffer added or removed: stage structure changed
+		}
+		// A sink pin-cap edit changes the endpoint cap an unbuffered leaf
+		// presents to its stage — exactly the L[v] the full pass reads.
+		if nd.BufIdx == ctree.NoBuf && nd.SinkIdx != ctree.NoSink && t.IsLeaf(v) {
+			if c := t.Sinks[nd.SinkIdx].Cap; c != a.endCap[v] {
+				a.endCap[v] = c
+				sinkDirty = true
+				inc.markCap(a.drv[v])
+			}
 		}
 		if nd.Parent != ctree.NoNode {
 			if nd.Rule < 0 || nd.Rule >= te.NumRules() {
@@ -368,6 +381,10 @@ func (inc *Incremental) update(t *ctree.Tree) bool {
 			bufDirty = true
 			if nd.Parent != ctree.NoNode {
 				inc.markCap(a.drv[v]) // new input cap loads the parent stage
+			} else {
+				// Root resize: no parent stage rebuild walks the root, so
+				// refresh its own lumped cap here (buffered ⇒ no kid term).
+				a.downCap[v] = a.endCap[v] + a.edgeC[v]/2
 			}
 			inc.markDelay(v) // its own stage re-reads the NLDM tables
 		}
@@ -549,6 +566,15 @@ func (inc *Incremental) update(t *ctree.Tree) bool {
 		res.BufInCap, res.BufIntCap, res.LeakageTot = inCap, intCap, leak
 		res.BufferCount = count
 	}
+	if sinkDirty {
+		sc := 0.0
+		for i := range t.Nodes {
+			if nd := &t.Nodes[i]; nd.BufIdx == ctree.NoBuf && t.IsLeaf(i) {
+				sc += t.Sinks[nd.SinkIdx].Cap
+			}
+		}
+		res.SinkCap = sc
+	}
 	return true
 }
 
@@ -580,7 +606,8 @@ func (inc *Incremental) runCrossCheck(t *ctree.Tree, inSlew float64) error {
 			return fmt.Errorf("sta: incremental cross-check mismatch: StageCap[%d] %g vs %g", d, got.StageCap[d], want.StageCap[d])
 		}
 	}
-	if diff(got.WireCap, want.WireCap) || diff(got.BufInCap, want.BufInCap) ||
+	if diff(got.WireCap, want.WireCap) || diff(got.SinkCap, want.SinkCap) ||
+		diff(got.BufInCap, want.BufInCap) ||
 		diff(got.BufIntCap, want.BufIntCap) || diff(got.LeakageTot, want.LeakageTot) ||
 		got.BufferCount != want.BufferCount {
 		return fmt.Errorf("sta: incremental cross-check mismatch in inventory sums")

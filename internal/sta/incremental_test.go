@@ -51,13 +51,14 @@ func compareExact(t *testing.T, tag string, tree *ctree.Tree, got, want *sta.Res
 
 // mutate applies one random edit to the tree and reports it to inc.
 // Kind mix: rule changes and edge-length growth dominate (the optimizer's
-// edits), with occasional buffer resizes and revert pairs.
+// edits), with occasional buffer resizes, sink pin-cap edits (the design
+// session workload), and revert pairs.
 func mutate(rng *rand.Rand, tree *ctree.Tree, te *tech.Tech, lib *cell.Library, inc *sta.Incremental) {
 	n := len(tree.Nodes)
 	for {
 		v := rng.Intn(n)
 		nd := &tree.Nodes[v]
-		switch k := rng.Intn(10); {
+		switch k := rng.Intn(11); {
 		case k < 5: // rule change
 			if nd.Parent == ctree.NoNode {
 				continue
@@ -75,6 +76,12 @@ func mutate(rng *rand.Rand, tree *ctree.Tree, te *tech.Tech, lib *cell.Library, 
 				continue
 			}
 			nd.BufIdx = rng.Intn(len(lib.Buffers))
+			inc.Touch(v)
+		case k < 10: // sink pin-cap edit on an unbuffered leaf
+			if nd.SinkIdx == ctree.NoSink || nd.BufIdx != ctree.NoBuf || !tree.IsLeaf(v) {
+				continue
+			}
+			tree.Sinks[nd.SinkIdx].Cap = (1 + 3*rng.Float64()) * 1e-15
 			inc.Touch(v)
 		default: // touch-then-revert: must be a no-op
 			if nd.Parent == ctree.NoNode {
@@ -294,4 +301,94 @@ func TestIncrementalLocalizedEditVisits(t *testing.T) {
 		t.Fatal(err)
 	}
 	compareExact(t, "localized", tree, got, want)
+}
+
+// TestIncrementalSinkCapEdit: a sink pin-cap edit on an unbuffered leaf
+// must take the incremental path (not a fallback), stay local to the
+// owning stage's cost scale, and commit results bitwise identical to a
+// from-scratch analysis — including the SinkCap inventory sum.
+func TestIncrementalSinkCapEdit(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tree := synthTree(t, 300, 31, te, lib)
+	inc := sta.NewIncremental(te, lib)
+	if _, err := inc.Analyze(tree, 40e-12); err != nil {
+		t.Fatal(err)
+	}
+	leaf := -1
+	for v := range tree.Nodes {
+		nd := &tree.Nodes[v]
+		if nd.SinkIdx != ctree.NoSink && nd.BufIdx == ctree.NoBuf && tree.IsLeaf(v) {
+			leaf = v
+			break
+		}
+	}
+	if leaf < 0 {
+		t.Fatal("no unbuffered sink leaf in synth tree")
+	}
+	si := tree.Nodes[leaf].SinkIdx
+	origCap := tree.Sinks[si].Cap
+	tree.Sinks[si].Cap *= 2.5
+	inc.Touch(leaf)
+	got, err := inc.Analyze(tree, 40e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := inc.Stats()
+	if st.IncRuns != 1 || st.Fallbacks != 0 {
+		t.Fatalf("sink-cap edit did not take the incremental path: %+v", st)
+	}
+	want, err := sta.Analyze(tree, te, lib, 40e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareExact(t, "sink-cap", tree, got, want)
+
+	// Restoring the exact original bits must also go incrementally and
+	// return the state of the first analysis (sessions roll back this way).
+	tree.Sinks[si].Cap = origCap
+	inc.Touch(leaf)
+	got, err = inc.Analyze(tree, 40e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Stats().IncRuns != 2 {
+		t.Fatalf("sink-cap revert did not take the incremental path: %+v", inc.Stats())
+	}
+	want, err = sta.Analyze(tree, te, lib, 40e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareExact(t, "sink-cap-revert", tree, got, want)
+}
+
+// TestIncrementalRootBufferResize pins a fix: resizing the root driver's
+// buffer has no parent stage to rebuild the root's own lumped cap, so the
+// update path must refresh Result.DownCap[root] itself.
+func TestIncrementalRootBufferResize(t *testing.T) {
+	te := tech.Tech45()
+	lib := cell.Default45()
+	tree := synthTree(t, 40, 33, te, lib)
+	inc := sta.NewIncremental(te, lib)
+	if _, err := inc.Analyze(tree, 40e-12); err != nil {
+		t.Fatal(err)
+	}
+	root := tree.Root
+	if tree.Nodes[root].BufIdx == ctree.NoBuf {
+		t.Fatal("synth tree root is unbuffered")
+	}
+	tree.Nodes[root].BufIdx = (tree.Nodes[root].BufIdx + 1) % len(lib.Buffers)
+	inc.Touch(root)
+	got, err := inc.Analyze(tree, 40e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Stats().IncRuns != 1 {
+		t.Fatalf("root resize did not take the incremental path: %+v", inc.Stats())
+	}
+	want, err := sta.Analyze(tree, te, lib, 40e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareExact(t, "root-resize", tree, got, want)
 }

@@ -1,0 +1,181 @@
+package smartndr_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"smartndr"
+	"smartndr/internal/core"
+	"smartndr/internal/testutil"
+)
+
+// sessionEdits generates one batch of valid random edits for a spec with
+// n sinks and nodes tree nodes. Pure function of rng state — the harness
+// relies on seeded reproducibility.
+func sessionEdits(rng *rand.Rand, nSinks, nNodes int, die float64, count int) []smartndr.Edit {
+	edits := make([]smartndr.Edit, 0, count)
+	for i := 0; i < count; i++ {
+		switch rng.Intn(6) {
+		case 0, 1:
+			edits = append(edits, smartndr.Edit{Op: core.OpMoveSink,
+				Sink: rng.Intn(nSinks), X: rng.Float64() * die, Y: rng.Float64() * die})
+		case 2:
+			edits = append(edits, smartndr.Edit{Op: core.OpSinkCap,
+				Sink: rng.Intn(nSinks), Cap: (1 + 3*rng.Float64()) * 1e-15})
+		case 3:
+			edits = append(edits, smartndr.Edit{Op: core.OpSinkRule,
+				Sink: rng.Intn(nSinks), Rule: rng.Intn(4)})
+		case 4:
+			edits = append(edits, smartndr.Edit{Op: core.OpNodeRule,
+				Node: rng.Intn(nNodes), Rule: rng.Intn(4)})
+		default:
+			edits = append(edits, smartndr.Edit{Op: core.OpInSlew,
+				InSlewPS: 30 + 40*rng.Float64()})
+		}
+	}
+	return edits
+}
+
+func metricsJSON(t *testing.T, m smartndr.Metrics) string {
+	t.Helper()
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestSessionMatchesColdRun is the flow-level half of the differential
+// contract: every prefix of a random edit sequence, applied warm through
+// one session, yields metrics and a content address byte-identical to a
+// cold RunSpecEdits of the same state.
+func TestSessionMatchesColdRun(t *testing.T) {
+	ctx := context.Background()
+	seeds := 6
+	steps := 5
+	if testing.Short() {
+		seeds, steps = 2, 3
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			spec := testutil.UniformSpec(fmt.Sprintf("sess%d", seed), 48, 900, int64(100+seed))
+			flow := smartndr.NewFlow(nil)
+			sess, err := flow.OpenSession(ctx, spec, smartndr.SchemeSmart)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(9000 + seed)))
+			var cumulative []smartndr.Edit
+			for step := 0; step < steps; step++ {
+				batch := sessionEdits(rng, spec.Sinks, sess.Nodes(), spec.DieX, 1+rng.Intn(4))
+				cumulative = core.CanonicalEdits(append(cumulative, batch...))
+				warm, err := sess.ApplyState(ctx, cumulative)
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				coldFlow := smartndr.NewFlow(nil)
+				_, coldRes, err := coldFlow.RunSpecEdits(ctx, spec, smartndr.SchemeSmart, cumulative)
+				if err != nil {
+					t.Fatalf("step %d cold: %v", step, err)
+				}
+				if w, c := metricsJSON(t, warm), metricsJSON(t, coldRes.Metrics); w != c {
+					t.Fatalf("step %d: warm != cold\nwarm: %s\ncold: %s", step, w, c)
+				}
+				wk, err := sess.Key(cumulative)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ck, err := coldFlow.CanonicalKeyEdits(spec, smartndr.SchemeSmart, cumulative)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wk != ck {
+					t.Fatalf("step %d: key mismatch %s vs %s", step, wk, ck)
+				}
+			}
+			st := sess.EngineStats()
+			if st.IncRuns == 0 {
+				t.Errorf("session never took the dirty-region path: %+v", st)
+			}
+		})
+	}
+}
+
+// TestSessionRollbackBitwise: rolling the session back to a previously
+// visited state reproduces that state's metrics bytes exactly.
+func TestSessionRollbackBitwise(t *testing.T) {
+	ctx := context.Background()
+	spec := testutil.UniformSpec("roll", 40, 800, 7)
+	flow := smartndr.NewFlow(nil)
+	sess, err := flow.OpenSession(ctx, spec, smartndr.SchemeSmart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := metricsJSON(t, sess.Result().Metrics)
+	rng := rand.New(rand.NewSource(77))
+	var history [][]smartndr.Edit
+	var recorded []string
+	var cumulative []smartndr.Edit
+	for step := 0; step < 6; step++ {
+		cumulative = core.CanonicalEdits(append(cumulative,
+			sessionEdits(rng, spec.Sinks, sess.Nodes(), spec.DieX, 2)...))
+		m, err := sess.ApplyState(ctx, cumulative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		history = append(history, cumulative)
+		recorded = append(recorded, metricsJSON(t, m))
+	}
+	// Walk back through every recorded state, newest to oldest.
+	for i := len(history) - 1; i >= 0; i-- {
+		m, err := sess.ApplyState(ctx, history[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := metricsJSON(t, m); got != recorded[i] {
+			t.Fatalf("rollback to state %d diverged\ngot:  %s\nwant: %s", i, got, recorded[i])
+		}
+	}
+	m, err := sess.ApplyState(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metricsJSON(t, m); got != pristine {
+		t.Fatalf("rollback to pristine diverged\ngot:  %s\nwant: %s", got, pristine)
+	}
+}
+
+// TestSessionRejectsBadEdits: validation failures surface as ErrEdit and
+// leave the session state untouched.
+func TestSessionRejectsBadEdits(t *testing.T) {
+	ctx := context.Background()
+	spec := testutil.UniformSpec("bad", 30, 700, 3)
+	flow := smartndr.NewFlow(nil)
+	sess, err := flow.OpenSession(ctx, spec, smartndr.SchemeBlanket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []smartndr.Edit{{Op: core.OpSinkCap, Sink: 1, Cap: 2e-15}}
+	before, err := sess.ApplyState(ctx, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ApplyState(ctx, []smartndr.Edit{
+		{Op: core.OpSinkCap, Sink: spec.Sinks + 5, Cap: 2e-15},
+	}); !errors.Is(err, smartndr.ErrEdit) {
+		t.Fatalf("out-of-range sink: err = %v, want ErrEdit", err)
+	}
+	after, err := sess.ApplyState(ctx, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metricsJSON(t, before) != metricsJSON(t, after) {
+		t.Fatal("rejected edit perturbed session state")
+	}
+}
